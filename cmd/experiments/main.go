@@ -1,0 +1,62 @@
+// Command experiments reproduces every table and figure of the paper's
+// evaluation (§4 and Appendix A): it runs the named experiment presets
+// and prints the same rows and series the paper reports.
+//
+//	experiments                 # the full suite
+//	experiments -run fig1,fig7  # selected experiments
+//	experiments -flows 10000    # closer to paper-scale (slower)
+//	experiments -list           # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/irnsim/irn/internal/exp"
+)
+
+func main() {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		flows  = flag.Int("flows", 4000, "Poisson flows per run (higher = closer to steady state)")
+		incast = flag.Int("incast-bytes", 15_000_000, "incast transfer size in bytes")
+		reps   = flag.Int("incast-reps", 3, "incast repetitions per fan-in")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	scale := exp.Scale{Flows: *flows, IncastBytes: *incast, IncastReps: *reps}
+	all := exp.All(scale)
+
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-14s %s (%d scenarios)\n", e.ID, e.Description, len(e.Scenarios))
+		}
+		return
+	}
+
+	selected := all
+	if *runIDs != "" {
+		selected = nil
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id), scale)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	suiteStart := time.Now()
+	for _, e := range selected {
+		start := time.Now()
+		results := exp.RunExperiment(e)
+		fmt.Print(exp.Render(e, results))
+		fmt.Printf("(%d scenarios in %v)\n\n", len(results), time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("suite completed in %v\n", time.Since(suiteStart).Round(time.Second))
+}

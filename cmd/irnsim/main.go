@@ -1,0 +1,121 @@
+// Command irnsim runs a single simulation scenario and prints the
+// paper's metrics (§4.1: average slowdown, average FCT, 99%ile FCT).
+//
+// Examples:
+//
+//	irnsim -transport irn
+//	irnsim -transport roce -pfc -flows 4000
+//	irnsim -transport irn -cc dcqcn -load 0.9 -arity 8
+//	irnsim -transport irn -incast 30
+//	irnsim -transport irn -recovery gbn       # Figure 7 ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/irnsim/irn"
+)
+
+func main() {
+	var (
+		transport = flag.String("transport", "irn", "transport: irn | roce | iwarp")
+		ccName    = flag.String("cc", "none", "congestion control: none | timely | dcqcn | aimd | dctcp")
+		pfc       = flag.Bool("pfc", false, "enable priority flow control")
+		arity     = flag.Int("arity", 6, "fat-tree arity (6=54 hosts, 8=128, 10=250)")
+		gbps      = flag.Float64("gbps", 40, "link bandwidth in Gbps")
+		load      = flag.Float64("load", 0.7, "target link utilization")
+		flows     = flag.Int("flows", 2000, "number of flows")
+		buffer    = flag.Int("buffer", 0, "per-port buffer bytes (0 = 2xBDP)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workload  = flag.String("workload", "heavy", "workload: heavy | uniform")
+		incast    = flag.Int("incast", 0, "incast fan-in M (0 = Poisson workload)")
+		recovery  = flag.String("recovery", "sack", "IRN loss recovery: sack | gbn | nosack")
+		noBDPFC   = flag.Bool("no-bdpfc", false, "disable IRN's BDP-FC")
+		overheads = flag.Bool("worst-overheads", false, "model the §6.3 worst-case overheads")
+	)
+	flag.Parse()
+
+	cfg := irn.Config{
+		PFC:          *pfc,
+		FatTreeArity: *arity,
+		LinkGbps:     *gbps,
+		Load:         *load,
+		Flows:        *flows,
+		BufferBytes:  *buffer,
+		Seed:         *seed,
+		IncastFanIn:  *incast,
+		DisableBDPFC: *noBDPFC,
+	}
+	switch *transport {
+	case "irn":
+		cfg.Transport = irn.TransportIRN
+	case "roce":
+		cfg.Transport = irn.TransportRoCE
+	case "iwarp", "tcp":
+		cfg.Transport = irn.TransportIWARP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+	switch *ccName {
+	case "none":
+	case "timely":
+		cfg.CC = irn.CCTimely
+	case "dcqcn":
+		cfg.CC = irn.CCDCQCN
+	case "aimd":
+		cfg.CC = irn.CCAIMD
+	case "dctcp":
+		cfg.CC = irn.CCDCTCP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown cc %q\n", *ccName)
+		os.Exit(2)
+	}
+	switch *workload {
+	case "heavy":
+	case "uniform":
+		cfg.Workload = irn.WorkloadUniform
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	switch *recovery {
+	case "sack":
+	case "gbn":
+		cfg.Recovery = irn.RecoveryGoBackN
+	case "nosack":
+		cfg.Recovery = irn.RecoveryNoSACK
+	default:
+		fmt.Fprintf(os.Stderr, "unknown recovery %q\n", *recovery)
+		os.Exit(2)
+	}
+	if *overheads {
+		cfg.RetxFetchDelay = 2 * time.Microsecond
+		cfg.ExtraHeaderBytes = 16
+	}
+
+	start := time.Now()
+	r := irn.Run(cfg)
+	wall := time.Since(start)
+
+	fmt.Printf("transport=%s cc=%s pfc=%v arity=%d gbps=%.0f load=%.2f flows=%d seed=%d\n",
+		*transport, *ccName, *pfc, *arity, *gbps, *load, *flows, *seed)
+	fmt.Printf("avg_slowdown   %10.2f\n", r.AvgSlowdown)
+	fmt.Printf("avg_fct_ms     %10.4f\n", r.AvgFCTms)
+	fmt.Printf("p99_fct_ms     %10.4f\n", r.P99FCTms)
+	if len(r.SinglePacketTailMs) == 4 {
+		fmt.Printf("1pkt_tail_ms   p90=%.4f p95=%.4f p99=%.4f p99.9=%.4f\n",
+			r.SinglePacketTailMs[0], r.SinglePacketTailMs[1], r.SinglePacketTailMs[2], r.SinglePacketTailMs[3])
+	}
+	if *incast > 0 {
+		fmt.Printf("incast_rct_ms  %10.3f\n", r.IncastRCTms)
+	}
+	fmt.Printf("flows          %d completed, %d incomplete\n", r.Completed, r.Incomplete)
+	fmt.Printf("fabric         drops=%d pauses=%d ecn_marked=%d\n", r.Drops, r.PauseFrames, r.ECNMarked)
+	fmt.Printf("transport      retransmits=%d timeouts=%d\n", r.Retransmits, r.Timeouts)
+	fmt.Printf("simulator      %d events in %v (%.1fM events/s)\n",
+		r.Events, wall.Round(time.Millisecond), float64(r.Events)/wall.Seconds()/1e6)
+}

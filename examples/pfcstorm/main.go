@@ -1,0 +1,40 @@
+// Pfcstorm: demonstrate the pathology that motivates the paper — PFC's
+// congestion spreading (§2.2). One overloaded destination causes pause
+// frames to cascade upstream, head-of-line blocking flows that never go
+// anywhere near the hotspot. IRN without PFC confines the damage to the
+// congested flows.
+package main
+
+import (
+	"fmt"
+
+	"github.com/irnsim/irn"
+)
+
+func main() {
+	fmt.Println("PFC congestion spreading: 30-way incast + innocent cross-traffic at 50% load")
+	fmt.Println()
+
+	run := func(name string, cfg irn.Config) irn.Result {
+		cfg.IncastFanIn = 30
+		cfg.IncastBytes = 15_000_000
+		cfg.Flows = 1200 // background flows sharing the fabric
+		cfg.Load = 0.5
+		r := irn.Run(cfg)
+		fmt.Printf("%-16s incast_rct=%8.3fms  victim_avg_slowdown=%6.2f  victim_p99_fct=%8.4fms  pauses=%d\n",
+			name, r.IncastRCTms, r.AvgSlowdown, r.P99FCTms, r.PauseFrames)
+		return r
+	}
+
+	pfc := run("RoCE + PFC", irn.Config{Transport: irn.TransportRoCE, PFC: true})
+	both := run("IRN + PFC", irn.Config{Transport: irn.TransportIRN, PFC: true})
+	clean := run("IRN (no PFC)", irn.Config{Transport: irn.TransportIRN})
+
+	fmt.Println()
+	fmt.Printf("background traffic slowdown, IRN vs RoCE+PFC: %.2fx better\n",
+		pfc.AvgSlowdown/clean.AvgSlowdown)
+	fmt.Printf("pause frames emitted under PFC: %d (RoCE), %d (IRN+PFC); zero without PFC\n",
+		pfc.PauseFrames, both.PauseFrames)
+	fmt.Println("\npaper §4.4.3: background traffic improves 32-87% with IRN; pauses cascade")
+	fmt.Println("to links nowhere near the incast destination (head-of-line blocking).")
+}

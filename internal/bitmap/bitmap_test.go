@@ -1,0 +1,309 @@
+package bitmap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRoundsUp(t *testing.T) {
+	for _, c := range []struct{ in, want int }{
+		{1, 64}, {63, 64}, {64, 64}, {65, 128}, {110, 128}, {1000, 1024},
+	} {
+		if got := New(c.in).Cap(); got != c.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSetGetClear(t *testing.T) {
+	b := New(128)
+	if b.Get(5) {
+		t.Fatal("bit 5 should start clear")
+	}
+	fresh, err := b.Set(5)
+	if err != nil || !fresh {
+		t.Fatalf("Set(5) = %v, %v", fresh, err)
+	}
+	fresh, err = b.Set(5)
+	if err != nil || fresh {
+		t.Fatalf("second Set(5) = %v, %v; want false, nil", fresh, err)
+	}
+	if !b.Get(5) || b.Count() != 1 {
+		t.Fatalf("Get(5)=%v Count=%d", b.Get(5), b.Count())
+	}
+	b.Clear(5)
+	if b.Get(5) || b.Count() != 0 {
+		t.Fatal("Clear failed")
+	}
+	b.Clear(5) // double clear is a no-op
+	if b.Count() != 0 {
+		t.Fatal("double clear corrupted count")
+	}
+}
+
+func TestSetOutsideWindow(t *testing.T) {
+	b := New(128)
+	if _, err := b.Set(128); err == nil {
+		t.Error("Set beyond window should error")
+	}
+	b.AdvanceTo(10)
+	if _, err := b.Set(9); err == nil {
+		t.Error("Set behind base should error")
+	}
+	if b.Get(9) {
+		t.Error("Get behind base should be false")
+	}
+	if _, err := b.Set(10 + 127); err != nil {
+		t.Errorf("Set at window end: %v", err)
+	}
+}
+
+func TestAdvanceClearsAndShifts(t *testing.T) {
+	b := New(128)
+	for _, s := range []uint32{0, 1, 2, 5, 100} {
+		if _, err := b.Set(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Advance(3)
+	if b.Base() != 3 {
+		t.Fatalf("base = %d", b.Base())
+	}
+	if b.Get(0) || b.Get(1) || b.Get(2) {
+		t.Error("advanced-past bits must read clear")
+	}
+	if !b.Get(5) || !b.Get(100) {
+		t.Error("remaining bits lost")
+	}
+	if b.Count() != 2 {
+		t.Errorf("count = %d, want 2", b.Count())
+	}
+	// The freed window tail must be clear and settable.
+	if _, err := b.Set(3 + 127); err != nil {
+		t.Errorf("tail bit: %v", err)
+	}
+}
+
+func TestAdvanceFullWindow(t *testing.T) {
+	b := New(64)
+	for i := uint32(0); i < 64; i++ {
+		b.Set(i)
+	}
+	b.Advance(200)
+	if b.Count() != 0 || b.Base() != 200 {
+		t.Fatalf("count=%d base=%d", b.Count(), b.Base())
+	}
+	if b.Get(200) {
+		t.Error("fresh window should be clear")
+	}
+}
+
+func TestAdvanceToPanicsBackwards(t *testing.T) {
+	b := New(64)
+	b.AdvanceTo(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	b.AdvanceTo(5)
+}
+
+func TestLeadingOnes(t *testing.T) {
+	b := New(128)
+	if b.LeadingOnes() != 0 {
+		t.Fatal("empty bitmap should have 0 leading ones")
+	}
+	b.Set(0)
+	b.Set(1)
+	b.Set(3)
+	if got := b.LeadingOnes(); got != 2 {
+		t.Errorf("LeadingOnes = %d, want 2", got)
+	}
+	b.Set(2)
+	if got := b.LeadingOnes(); got != 4 {
+		t.Errorf("LeadingOnes = %d, want 4", got)
+	}
+}
+
+func TestLeadingOnesFullWindow(t *testing.T) {
+	b := New(64)
+	for i := uint32(0); i < 64; i++ {
+		b.Set(i)
+	}
+	if got := b.LeadingOnes(); got != 64 {
+		t.Errorf("LeadingOnes = %d, want 64", got)
+	}
+}
+
+func TestNextZeroNextOne(t *testing.T) {
+	b := New(128)
+	b.Set(0)
+	b.Set(1)
+	b.Set(5)
+	b.Set(64)
+	b.Set(65)
+	if got := b.NextZero(0); got != 2 {
+		t.Errorf("NextZero(0) = %d, want 2", got)
+	}
+	if got := b.NextZero(5); got != 6 {
+		t.Errorf("NextZero(5) = %d, want 6", got)
+	}
+	if got := b.NextOne(2); got != 5 {
+		t.Errorf("NextOne(2) = %d, want 5", got)
+	}
+	if got := b.NextOne(6); got != 64 {
+		t.Errorf("NextOne(6) = %d, want 64", got)
+	}
+	if got := b.NextOne(66); got != b.Cap() {
+		t.Errorf("NextOne(66) = %d, want Cap", got)
+	}
+}
+
+func TestNextZeroAllSet(t *testing.T) {
+	b := New(64)
+	for i := uint32(0); i < 64; i++ {
+		b.Set(i)
+	}
+	if got := b.NextZero(0); got != 64 {
+		t.Errorf("NextZero = %d, want 64", got)
+	}
+}
+
+func TestWrapAroundBehaviour(t *testing.T) {
+	// Exercise the ring: advance until the head wraps the word boundary
+	// and the physical layout no longer matches the logical one.
+	b := New(64)
+	for round := 0; round < 10; round++ {
+		base := b.Base()
+		// Set a pattern relative to the new base.
+		b.Set(base + 1)
+		b.Set(base + 3)
+		b.Set(base + 63)
+		if b.LeadingOnes() != 0 {
+			t.Fatalf("round %d: leading ones != 0", round)
+		}
+		if got := b.NextOne(0); got != 1 {
+			t.Fatalf("round %d: NextOne = %d", round, got)
+		}
+		if got := b.CountRange(0, 64); got != 3 {
+			t.Fatalf("round %d: CountRange = %d", round, got)
+		}
+		b.Advance(37) // not a divisor of 64 → head walks every alignment
+		// After advancing 37, bits 1 and 3 fall out; bit 63 is at 26.
+		if !b.Get(base + 63) {
+			t.Fatalf("round %d: bit lost across advance", round)
+		}
+		b.Clear(base + 63)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	b := New(128)
+	for i := uint32(0); i < 128; i += 2 {
+		b.Set(i)
+	}
+	if got := b.CountRange(0, 128); got != 64 {
+		t.Errorf("CountRange full = %d, want 64", got)
+	}
+	if got := b.CountRange(0, 10); got != 5 {
+		t.Errorf("CountRange(0,10) = %d, want 5", got)
+	}
+	if got := b.CountRange(1, 2); got != 0 {
+		t.Errorf("CountRange(1,2) = %d, want 0", got)
+	}
+	if got := b.CountRange(-5, 500); got != 64 {
+		t.Errorf("CountRange clamped = %d, want 64", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(64)
+	b.Set(0)
+	b.Set(5)
+	b.Advance(3)
+	b.Reset(1000)
+	if b.Base() != 1000 || b.Count() != 0 {
+		t.Fatalf("base=%d count=%d", b.Base(), b.Count())
+	}
+	if b.Get(1000) {
+		t.Error("reset bitmap should be clear")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := New(64)
+	b.Set(1)
+	s := b.String()
+	if !strings.HasPrefix(s, "[0+01") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTwoBitmapMessageCompletion(t *testing.T) {
+	tb := NewTwo(128)
+	// Message A = packets 0..2 (2 is last), message B = packet 3 (last).
+	// Arrive out of order: 3, 2, 1, then 0.
+	for _, s := range []struct {
+		seq  uint32
+		last bool
+	}{{3, true}, {2, true}, {1, false}} {
+		fresh, err := tb.MarkArrived(s.seq, s.last)
+		if err != nil || !fresh {
+			t.Fatalf("MarkArrived(%d): %v %v", s.seq, fresh, err)
+		}
+	}
+	if pkts, msgs := tb.AdvanceCumulative(); pkts != 0 || msgs != 0 {
+		t.Fatalf("premature advance: %d pkts %d msgs", pkts, msgs)
+	}
+	if _, err := tb.MarkArrived(0, false); err != nil {
+		t.Fatal(err)
+	}
+	pkts, msgs := tb.AdvanceCumulative()
+	if pkts != 4 || msgs != 2 {
+		t.Fatalf("AdvanceCumulative = %d pkts, %d msgs; want 4, 2", pkts, msgs)
+	}
+	if tb.Base() != 4 {
+		t.Errorf("base = %d, want 4", tb.Base())
+	}
+}
+
+func TestTwoBitmapDuplicateArrival(t *testing.T) {
+	tb := NewTwo(64)
+	if fresh, _ := tb.MarkArrived(0, true); !fresh {
+		t.Fatal("first arrival should be fresh")
+	}
+	if fresh, _ := tb.MarkArrived(0, true); fresh {
+		t.Fatal("duplicate arrival should not be fresh")
+	}
+	if !tb.Arrived(0) || !tb.IsLast(0) {
+		t.Error("flags lost")
+	}
+	pkts, msgs := tb.AdvanceCumulative()
+	if pkts != 1 || msgs != 1 {
+		t.Errorf("advance = %d, %d", pkts, msgs)
+	}
+}
+
+func TestTwoBitmapOutOfWindow(t *testing.T) {
+	tb := NewTwo(64)
+	if _, err := tb.MarkArrived(64, false); err == nil {
+		t.Error("expected window error")
+	}
+	tb.Reset(500)
+	if tb.Base() != 500 {
+		t.Errorf("base = %d", tb.Base())
+	}
+	if _, err := tb.MarkArrived(500, true); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// refModel is a trivial map-based reference implementation the ring bitmap
+// is checked against under random operation sequences.
+type refModel struct {
+	set  map[uint32]bool
+	base uint32
+	size int
+}
+
+func newRef(size int) *refModel {
+	return &refModel{set: make(map[uint32]bool), size: size}
+}
+
+func (m *refModel) Set(seq uint32) bool {
+	off := int(int32(seq - m.base))
+	if off < 0 || off >= m.size {
+		return false
+	}
+	if m.set[seq] {
+		return false
+	}
+	m.set[seq] = true
+	return true
+}
+
+func (m *refModel) Advance(n int) {
+	for i := 0; i < n; i++ {
+		delete(m.set, m.base+uint32(i))
+	}
+	m.base += uint32(n)
+}
+
+func (m *refModel) LeadingOnes() int {
+	n := 0
+	for m.set[m.base+uint32(n)] {
+		n++
+		if n == m.size {
+			break
+		}
+	}
+	return n
+}
+
+func (m *refModel) Count() int { return len(m.set) }
+
+func (m *refModel) NextOne(from int) int {
+	for off := from; off < m.size; off++ {
+		if m.set[m.base+uint32(off)] {
+			return off
+		}
+	}
+	return m.size
+}
+
+func TestBitmapAgainstModelProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		const size = 128
+		b := New(size)
+		m := newRef(b.Cap())
+		for step := 0; step < 2000; step++ {
+			switch r.Intn(4) {
+			case 0, 1: // set a random bit in the window
+				seq := b.Base() + uint32(r.Intn(b.Cap()))
+				fresh, err := b.Set(seq)
+				if err != nil {
+					t.Fatalf("unexpected Set error: %v", err)
+				}
+				if fresh != m.Set(seq) {
+					t.Fatalf("Set(%d) freshness mismatch", seq)
+				}
+			case 2: // advance by a random amount
+				n := r.Intn(20)
+				b.Advance(n)
+				m.Advance(n)
+			case 3: // cross-check queries
+				if b.Count() != m.Count() {
+					t.Fatalf("Count: %d vs %d", b.Count(), m.Count())
+				}
+				if b.LeadingOnes() != m.LeadingOnes() {
+					t.Fatalf("LeadingOnes: %d vs %d (%s)", b.LeadingOnes(), m.LeadingOnes(), b)
+				}
+				from := r.Intn(b.Cap())
+				if b.NextOne(from) != m.NextOne(from) {
+					t.Fatalf("NextOne(%d): %d vs %d", from, b.NextOne(from), m.NextOne(from))
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoBitmapConservationProperty(t *testing.T) {
+	// Property: for any arrival order of a set of messages, the total
+	// packets and messages reported by AdvanceCumulative equal the totals
+	// delivered, and completion never happens before full arrival.
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		tb := NewTwo(256)
+		// Build messages covering seq [0, total).
+		type msg struct{ start, n int }
+		var msgs []msg
+		total := 0
+		for total < 200 {
+			n := 1 + r.Intn(8)
+			msgs = append(msgs, msg{total, n})
+			total += n
+		}
+		order := r.Perm(total)
+		lastOf := make(map[int]bool)
+		for _, m := range msgs {
+			lastOf[m.start+m.n-1] = true
+		}
+		gotPkts, gotMsgs := 0, 0
+		for _, seq := range order {
+			fresh, err := tb.MarkArrived(uint32(seq), lastOf[seq])
+			if err != nil || !fresh {
+				// Out-of-window arrivals can happen because the window is
+				// 256 and total <= 207, so errors indicate a real bug.
+				t.Fatalf("MarkArrived(%d): fresh=%v err=%v", seq, fresh, err)
+			}
+			p, m := tb.AdvanceCumulative()
+			gotPkts += p
+			gotMsgs += m
+		}
+		return gotPkts == total && gotMsgs == len(msgs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package bitmap
+
+// TwoBitmap is the responder-side "2-bitmap" of §5.3.3: for every packet
+// in the window it tracks (1) whether the packet has arrived and (2)
+// whether it is the last packet of a message — the packet whose in-order
+// arrival point triggers an MSN update and, for Sends and
+// Write-with-immediates, a Receive WQE expiration followed by CQE
+// generation.
+type TwoBitmap struct {
+	arrived *Bitmap
+	last    *Bitmap
+}
+
+// NewTwo returns a TwoBitmap with the given per-bitmap capacity.
+func NewTwo(capacity int) *TwoBitmap {
+	return &TwoBitmap{arrived: New(capacity), last: New(capacity)}
+}
+
+// Cap returns the window capacity in bits.
+func (t *TwoBitmap) Cap() int { return t.arrived.Cap() }
+
+// Base returns the sequence number of the window start.
+func (t *TwoBitmap) Base() uint32 { return t.arrived.Base() }
+
+// MarkArrived records the arrival of seq, flagging whether it is the last
+// packet of its message. It reports whether the arrival was new.
+func (t *TwoBitmap) MarkArrived(seq uint32, lastOfMessage bool) (bool, error) {
+	fresh, err := t.arrived.Set(seq)
+	if err != nil {
+		return false, err
+	}
+	if lastOfMessage {
+		if _, err := t.last.Set(seq); err != nil {
+			return fresh, err
+		}
+	}
+	return fresh, nil
+}
+
+// Arrived reports whether seq has arrived.
+func (t *TwoBitmap) Arrived(seq uint32) bool { return t.arrived.Get(seq) }
+
+// IsLast reports whether seq was flagged as a message boundary.
+func (t *TwoBitmap) IsLast(seq uint32) bool { return t.last.Get(seq) }
+
+// AdvanceCumulative pops the maximal in-order prefix: it counts the
+// consecutive arrived packets at the head, counts how many of them are
+// message boundaries (the MSN increment / number of Receive WQEs to
+// expire, computed with popcount as in §6.2.1), advances both bitmaps past
+// the prefix, and returns (packets advanced, messages completed).
+func (t *TwoBitmap) AdvanceCumulative() (pkts, msgs int) {
+	pkts = t.arrived.LeadingOnes()
+	if pkts == 0 {
+		return 0, 0
+	}
+	msgs = t.last.CountRange(0, pkts)
+	t.arrived.Advance(pkts)
+	t.last.Advance(pkts)
+	return pkts, msgs
+}
+
+// Reset clears both bitmaps and moves the base to seq.
+func (t *TwoBitmap) Reset(seq uint32) {
+	t.arrived.Reset(seq)
+	t.last.Reset(seq)
+}

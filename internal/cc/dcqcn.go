@@ -1,0 +1,178 @@
+package cc
+
+import (
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/transport"
+)
+
+// DCQCNConfig holds the DCQCN reaction-point parameters (Zhu et al.,
+// SIGCOMM 2015), with ConnectX-4-style defaults. The simulator in the IRN
+// paper "implements DCQCN as implemented in the Mellanox ConnectX-4 RoCE
+// NIC".
+type DCQCNConfig struct {
+	LineRateGbps float64
+	MinRateGbps  float64
+	// G is the α EWMA gain g (1/256).
+	G float64
+	// AlphaTimer is the α update period when no CNP arrives (55 µs).
+	AlphaTimer sim.Duration
+	// IncreaseTimer is the rate-increase timer period.
+	IncreaseTimer sim.Duration
+	// ByteCounter is the rate-increase byte threshold (10 MB).
+	ByteCounter int
+	// F is the number of fast-recovery stages (5).
+	F int
+	// RAIGbps is the additive-increase step.
+	RAIGbps float64
+	// RHAIGbps is the hyper-increase step.
+	RHAIGbps float64
+}
+
+// DefaultDCQCNConfig returns defaults scaled to the line rate.
+func DefaultDCQCNConfig(lineGbps float64) DCQCNConfig {
+	return DCQCNConfig{
+		LineRateGbps:  lineGbps,
+		MinRateGbps:   0.01,
+		G:             1.0 / 256.0,
+		AlphaTimer:    55 * sim.Microsecond,
+		IncreaseTimer: 300 * sim.Microsecond,
+		ByteCounter:   10 << 20,
+		F:             5,
+		RAIGbps:       lineGbps / 1000, // 40 Mbps at 40G
+		RHAIGbps:      lineGbps / 100,  // 400 Mbps at 40G
+	}
+}
+
+// DCQCN is the reaction-point state machine: multiplicative decrease on
+// CNP arrival with an EWMA-estimated congestion level α, and staged rate
+// recovery (fast recovery → additive increase → hyper increase) driven by
+// a timer and a byte counter.
+type DCQCN struct {
+	cfg DCQCNConfig
+	eng *sim.Engine
+
+	rc    float64 // current rate, Gbps
+	rt    float64 // target rate, Gbps
+	alpha float64
+
+	bytesSinceUp int
+	timerStage   int // timer cycles since last decrease
+	byteStage    int // byte-counter cycles since last decrease
+
+	alphaTimer *sim.Timer
+	incTimer   *sim.Timer
+
+	// Decreases counts CNP-triggered rate cuts (diagnostics).
+	Decreases uint64
+}
+
+// NewDCQCN returns a controller starting at line rate. The engine powers
+// the α-decay and rate-increase timers.
+func NewDCQCN(eng *sim.Engine, cfg DCQCNConfig) *DCQCN {
+	d := &DCQCN{
+		cfg:   cfg,
+		eng:   eng,
+		rc:    cfg.LineRateGbps,
+		rt:    cfg.LineRateGbps,
+		alpha: 1,
+	}
+	d.alphaTimer = sim.NewTimer(eng, d.alphaDecay)
+	d.incTimer = sim.NewTimer(eng, d.timerIncrease)
+	d.alphaTimer.Arm(cfg.AlphaTimer)
+	d.incTimer.Arm(cfg.IncreaseTimer)
+	return d
+}
+
+// RateGbps exposes the current rate.
+func (d *DCQCN) RateGbps() float64 { return d.rc }
+
+// Alpha exposes the congestion estimate for tests.
+func (d *DCQCN) Alpha() float64 { return d.alpha }
+
+// OnCNP implements transport.Controller: the rate decrease of the DCQCN
+// reaction point.
+func (d *DCQCN) OnCNP(sim.Time) {
+	d.rt = d.rc
+	d.rc = clamp(d.rc*(1-d.alpha/2), d.cfg.MinRateGbps, d.cfg.LineRateGbps)
+	d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G
+	d.timerStage = 0
+	d.byteStage = 0
+	d.bytesSinceUp = 0
+	d.Decreases++
+	d.alphaTimer.Arm(d.cfg.AlphaTimer)
+	d.incTimer.Arm(d.cfg.IncreaseTimer)
+}
+
+// alphaDecay runs when AlphaTimer elapses with no CNP.
+func (d *DCQCN) alphaDecay() {
+	d.alpha = (1 - d.cfg.G) * d.alpha
+	d.alphaTimer.Arm(d.cfg.AlphaTimer)
+}
+
+// timerIncrease runs on each IncreaseTimer expiry.
+func (d *DCQCN) timerIncrease() {
+	d.timerStage++
+	d.increase()
+	d.incTimer.Arm(d.cfg.IncreaseTimer)
+}
+
+// OnSendBytes advances the byte counter; senders call it per transmitted
+// packet.
+func (d *DCQCN) OnSendBytes(n int) {
+	d.bytesSinceUp += n
+	for d.bytesSinceUp >= d.cfg.ByteCounter {
+		d.bytesSinceUp -= d.cfg.ByteCounter
+		d.byteStage++
+		d.increase()
+	}
+}
+
+// increase applies one rate-increase event according to the stage the
+// reaction point is in (DCQCN §5.2).
+func (d *DCQCN) increase() {
+	maxStage := d.timerStage
+	if d.byteStage > maxStage {
+		maxStage = d.byteStage
+	}
+	minStage := d.timerStage
+	if d.byteStage < minStage {
+		minStage = d.byteStage
+	}
+	switch {
+	case maxStage <= d.cfg.F: // fast recovery
+		// rc moves halfway back to rt; rt unchanged.
+	case minStage > d.cfg.F: // hyper increase
+		d.rt += d.cfg.RHAIGbps
+	default: // additive increase
+		d.rt += d.cfg.RAIGbps
+	}
+	d.rt = clamp(d.rt, d.cfg.MinRateGbps, d.cfg.LineRateGbps)
+	d.rc = clamp((d.rt+d.rc)/2, d.cfg.MinRateGbps, d.cfg.LineRateGbps)
+}
+
+// OnAck implements transport.Controller. DCQCN ignores ACKs; the byte
+// counter advances via OnSendBytes from SendDelay accounting.
+func (d *DCQCN) OnAck(sim.Time, sim.Duration, int, bool) {}
+
+// OnLoss implements transport.Controller. Losses are not a DCQCN signal;
+// the go-back-N-with-backoff ablation (§4.3) found backoff did not help
+// DCQCN, so this is a no-op.
+func (d *DCQCN) OnLoss(sim.Time) {}
+
+// SendDelay implements transport.Controller and drives the byte counter.
+func (d *DCQCN) SendDelay(wire int) sim.Duration {
+	d.OnSendBytes(wire)
+	return rateToDelay(wire, d.rc)
+}
+
+// WindowPackets implements transport.Controller.
+func (d *DCQCN) WindowPackets() int { return 0 }
+
+// Stop cancels the controller's timers; call when the flow completes so
+// the engine's event queue can drain.
+func (d *DCQCN) Stop() {
+	d.alphaTimer.Cancel()
+	d.incTimer.Cancel()
+}
+
+var _ transport.Controller = (*DCQCN)(nil)

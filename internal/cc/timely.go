@@ -1,0 +1,124 @@
+package cc
+
+import (
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/transport"
+)
+
+// TimelyConfig holds the TIMELY parameters (Mittal et al., SIGCOMM 2015).
+// The IRN paper uses "the same congestion control parameters as specified
+// in [29]".
+type TimelyConfig struct {
+	LineRateGbps float64
+	MinRateGbps  float64
+	// EWMA is the gradient filter weight α.
+	EWMA float64
+	// Beta is the multiplicative decrease factor β.
+	Beta float64
+	// AddStepGbps is the additive increase step δ.
+	AddStepGbps float64
+	// TLow: below this RTT, increase aggressively regardless of gradient.
+	TLow sim.Duration
+	// THigh: above this RTT, decrease regardless of gradient.
+	THigh sim.Duration
+	// MinRTT normalizes the gradient.
+	MinRTT sim.Duration
+	// HAIAfter is the number of consecutive non-positive gradients
+	// before hyperactive increase engages (5 in the paper).
+	HAIAfter int
+}
+
+// DefaultTimelyConfig returns the TIMELY paper's parameters scaled to the
+// given line rate.
+func DefaultTimelyConfig(lineGbps float64, minRTT sim.Duration) TimelyConfig {
+	return TimelyConfig{
+		LineRateGbps: lineGbps,
+		MinRateGbps:  0.01,
+		EWMA:         0.875,
+		Beta:         0.8,
+		AddStepGbps:  lineGbps / 1000, // δ = 10 Mbps at 10 Gbps, scaled
+		TLow:         50 * sim.Microsecond,
+		THigh:        500 * sim.Microsecond,
+		MinRTT:       minRTT,
+		HAIAfter:     5,
+	}
+}
+
+// Timely is the RTT-gradient rate controller. It reacts to per-ACK RTT
+// samples only — no ECN, no loss signal (losses surface indirectly via
+// RTT inflation and, for go-back-N-with-backoff ablations, OnLoss).
+type Timely struct {
+	cfg TimelyConfig
+
+	rate       float64 // Gbps
+	prevRTT    sim.Duration
+	rttDiff    float64 // EWMA of RTT differences, in ps
+	negStreak  int     // consecutive completion events with gradient <= 0
+	haveSample bool
+
+	// LossBackoff, when true, halves the rate on loss events. Used by
+	// the §4.3 go-back-N-with-backoff ablation.
+	LossBackoff bool
+}
+
+// NewTimely returns a Timely controller starting at line rate.
+func NewTimely(cfg TimelyConfig) *Timely {
+	return &Timely{cfg: cfg, rate: cfg.LineRateGbps}
+}
+
+// RateGbps exposes the current rate for tests and diagnostics.
+func (t *Timely) RateGbps() float64 { return t.rate }
+
+// OnAck implements transport.Controller with TIMELY's Algorithm 1.
+func (t *Timely) OnAck(_ sim.Time, rtt sim.Duration, _ int, _ bool) {
+	if rtt <= 0 {
+		return
+	}
+	if !t.haveSample {
+		t.haveSample = true
+		t.prevRTT = rtt
+		return
+	}
+	newDiff := float64(rtt - t.prevRTT)
+	t.prevRTT = rtt
+	t.rttDiff = (1-t.cfg.EWMA)*t.rttDiff + t.cfg.EWMA*newDiff
+	normGrad := t.rttDiff / float64(t.cfg.MinRTT)
+
+	switch {
+	case rtt < t.cfg.TLow:
+		t.negStreak = 0
+		t.rate += t.cfg.AddStepGbps
+	case rtt > t.cfg.THigh:
+		t.negStreak = 0
+		t.rate *= 1 - t.cfg.Beta*(1-float64(t.cfg.THigh)/float64(rtt))
+	case normGrad <= 0:
+		t.negStreak++
+		n := 1.0
+		if t.negStreak >= t.cfg.HAIAfter {
+			n = 5.0 // hyperactive increase
+		}
+		t.rate += n * t.cfg.AddStepGbps
+	default:
+		t.negStreak = 0
+		t.rate *= 1 - t.cfg.Beta*normGrad
+	}
+	t.rate = clamp(t.rate, t.cfg.MinRateGbps, t.cfg.LineRateGbps)
+}
+
+// OnCNP implements transport.Controller (ignored: Timely is RTT-based).
+func (t *Timely) OnCNP(sim.Time) {}
+
+// OnLoss implements transport.Controller.
+func (t *Timely) OnLoss(sim.Time) {
+	if t.LossBackoff {
+		t.rate = clamp(t.rate/2, t.cfg.MinRateGbps, t.cfg.LineRateGbps)
+	}
+}
+
+// SendDelay implements transport.Controller.
+func (t *Timely) SendDelay(wire int) sim.Duration { return rateToDelay(wire, t.rate) }
+
+// WindowPackets implements transport.Controller.
+func (t *Timely) WindowPackets() int { return 0 }
+
+var _ transport.Controller = (*Timely)(nil)

@@ -1,0 +1,136 @@
+package cc
+
+import (
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/transport"
+)
+
+// AIMD is TCP's additive-increase/multiplicative-decrease window logic
+// grafted onto IRN (§4.4.4, §4.6): the window grows by one packet per
+// window's worth of ACKs and halves on loss. Following §4.6, the flow
+// starts at line rate — the initial window is the BDP cap, with BDP-FC
+// still bounding the total (IRN's cap is the stricter of the two).
+type AIMD struct {
+	cwnd    float64
+	initial float64
+	minW    float64
+
+	// Losses counts multiplicative decreases (diagnostics).
+	Losses uint64
+}
+
+// NewAIMD returns an AIMD window starting at initialPackets.
+func NewAIMD(initialPackets int) *AIMD {
+	if initialPackets < 1 {
+		initialPackets = 1
+	}
+	return &AIMD{cwnd: float64(initialPackets), initial: float64(initialPackets), minW: 1}
+}
+
+// OnAck implements transport.Controller: +1 packet per RTT, approximated
+// by cwnd += acked/cwnd.
+func (a *AIMD) OnAck(_ sim.Time, _ sim.Duration, acked int, ecnEcho bool) {
+	if ecnEcho {
+		// Treat ECN echo like loss, once per window at most — callers
+		// using pure AIMD typically run without ECN, so keep it simple
+		// and halve.
+		a.OnLoss(0)
+		return
+	}
+	a.cwnd += float64(acked) / a.cwnd
+}
+
+// OnCNP implements transport.Controller.
+func (a *AIMD) OnCNP(sim.Time) {}
+
+// OnLoss implements transport.Controller.
+func (a *AIMD) OnLoss(sim.Time) {
+	a.Losses++
+	a.cwnd /= 2
+	if a.cwnd < a.minW {
+		a.cwnd = a.minW
+	}
+}
+
+// SendDelay implements transport.Controller.
+func (a *AIMD) SendDelay(int) sim.Duration { return 0 }
+
+// WindowPackets implements transport.Controller.
+func (a *AIMD) WindowPackets() int { return int(a.cwnd) }
+
+var _ transport.Controller = (*AIMD)(nil)
+
+// DCTCP is the DCTCP window controller (Alizadeh et al., SIGCOMM 2010)
+// used with IRN in §4.4.4: it estimates the fraction of ECN-marked ACKs
+// per observation window and scales the congestion window by (1 − α/2)
+// once per window when marks were seen.
+type DCTCP struct {
+	cwnd  float64
+	alpha float64
+	g     float64
+	minW  float64
+
+	ackedInWin  int
+	markedInWin int
+	winTarget   int // acks per observation window ≈ cwnd at window start
+}
+
+// NewDCTCP returns a DCTCP window starting at initialPackets with the
+// standard g = 1/16 gain.
+func NewDCTCP(initialPackets int) *DCTCP {
+	if initialPackets < 1 {
+		initialPackets = 1
+	}
+	d := &DCTCP{cwnd: float64(initialPackets), g: 1.0 / 16.0, minW: 1}
+	d.winTarget = initialPackets
+	return d
+}
+
+// Alpha exposes the marking estimate for tests.
+func (d *DCTCP) Alpha() float64 { return d.alpha }
+
+// OnAck implements transport.Controller.
+func (d *DCTCP) OnAck(_ sim.Time, _ sim.Duration, acked int, ecnEcho bool) {
+	d.ackedInWin += acked
+	if ecnEcho {
+		d.markedInWin += acked
+	}
+	if d.ackedInWin >= d.winTarget {
+		frac := float64(d.markedInWin) / float64(d.ackedInWin)
+		d.alpha = (1-d.g)*d.alpha + d.g*frac
+		if d.markedInWin > 0 {
+			d.cwnd *= 1 - d.alpha/2
+			if d.cwnd < d.minW {
+				d.cwnd = d.minW
+			}
+		} else {
+			d.cwnd++
+		}
+		d.ackedInWin = 0
+		d.markedInWin = 0
+		d.winTarget = int(d.cwnd)
+		if d.winTarget < 1 {
+			d.winTarget = 1
+		}
+	}
+}
+
+// OnCNP implements transport.Controller.
+func (d *DCTCP) OnCNP(sim.Time) {}
+
+// OnLoss implements transport.Controller: fall back to halving, as TCP
+// does on loss.
+func (d *DCTCP) OnLoss(sim.Time) {
+	d.cwnd /= 2
+	if d.cwnd < d.minW {
+		d.cwnd = d.minW
+	}
+}
+
+// SendDelay implements transport.Controller.
+func (d *DCTCP) SendDelay(int) sim.Duration { return 0 }
+
+// WindowPackets implements transport.Controller.
+func (d *DCTCP) WindowPackets() int { return int(d.cwnd) }
+
+var _ transport.Controller = (*DCTCP)(nil)

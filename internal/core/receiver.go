@@ -1,0 +1,159 @@
+package core
+
+import (
+	"github.com/irnsim/irn/internal/bitmap"
+	"github.com/irnsim/irn/internal/cc"
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/transport"
+)
+
+// Receiver is the IRN receiver of §3.1: it keeps out-of-order packets
+// (tracking them in a BDP-sized bitmap), sends a cumulative ACK for every
+// in-order arrival, and on every out-of-order arrival sends a NACK
+// carrying both the cumulative acknowledgement and the sequence number
+// that triggered it.
+//
+// The receiver behaves identically across the §4.3 sender-side recovery
+// ablations (go-back-N, no-SACK): those change only what the sender does
+// with the NACKs. The RoCE-style receiver that discards out-of-order
+// packets lives in internal/rocev2.
+//
+// It also hosts the DCQCN notification point: CE-marked arrivals generate
+// CNPs, rate-limited to one per 50 µs per flow.
+type Receiver struct {
+	ep   transport.Endpoint
+	flow *transport.Flow
+	p    Params
+
+	expected packet.PSN
+	rcv      *bitmap.Bitmap // out-of-order arrivals beyond expected
+	received int            // distinct data packets received
+	total    int
+
+	cnp *cc.CNPGenerator
+
+	onComplete func(now sim.Time)
+
+	// Stats.
+	Acks, Nacks, CNPs, Duplicates uint64
+}
+
+// NewReceiver builds an IRN receiver for flow. onComplete (may be nil)
+// fires exactly once, when every packet of the message has arrived.
+func NewReceiver(ep transport.Endpoint, flow *transport.Flow, p Params, onComplete func(now sim.Time)) *Receiver {
+	if flow.Pkts == 0 {
+		flow.Pkts = transport.NumPackets(flow.Size, p.MTU)
+	}
+	r := &Receiver{
+		ep:         ep,
+		flow:       flow,
+		p:          p,
+		total:      flow.Pkts,
+		cnp:        cc.NewCNPGenerator(),
+		onComplete: onComplete,
+	}
+	capPkts := p.BDPCap
+	if capPkts <= 0 || capPkts > r.total {
+		capPkts = r.total
+	}
+	r.rcv = bitmap.New(capPkts + 1)
+	return r
+}
+
+// Received reports distinct data packets received so far.
+func (r *Receiver) Received() int { return r.received }
+
+// Expected returns the next expected sequence number.
+func (r *Receiver) Expected() packet.PSN { return r.expected }
+
+// HandleData implements transport.Sink.
+func (r *Receiver) HandleData(pkt *packet.Packet, now sim.Time) {
+	// DCQCN notification point.
+	if pkt.CE && r.cnp.OnMarked(now) {
+		r.CNPs++
+		r.ep.SendControl(packet.NewCNP(pkt.Flow, r.flow.Dst, r.flow.Src))
+	}
+
+	switch {
+	case pkt.PSN < r.expected:
+		// Duplicate of an already-delivered packet (a spurious or
+		// crossed retransmission). Re-ACK so the sender advances.
+		r.Duplicates++
+		r.sendAck(pkt, now)
+
+	case pkt.PSN == r.expected:
+		r.deliverInOrder(pkt, now)
+
+	default: // out of order
+		fresh, err := r.rcv.Set(pkt.PSN)
+		if err != nil {
+			// Beyond the tracking window: only possible when the sender
+			// violates BDP-FC; drop and NACK to resynchronize.
+			r.sendNack(pkt, now)
+			return
+		}
+		if fresh {
+			r.received++
+		} else {
+			r.Duplicates++
+		}
+		// "Upon every out-of-order packet arrival, an IRN receiver
+		// sends a NACK" (§3.1).
+		r.sendNack(pkt, now)
+		r.maybeComplete(now)
+	}
+}
+
+// deliverInOrder accepts the expected packet and advances past any
+// previously buffered out-of-order packets.
+func (r *Receiver) deliverInOrder(pkt *packet.Packet, now sim.Time) {
+	r.received++
+	if _, err := r.rcv.Set(pkt.PSN); err != nil {
+		// Window bookkeeping failed; this cannot happen when the
+		// sender honors the cap, but recover defensively.
+		r.rcv.Reset(pkt.PSN + 1)
+		r.expected = pkt.PSN + 1
+		r.sendAck(pkt, now)
+		r.maybeComplete(now)
+		return
+	}
+	n := r.rcv.LeadingOnes()
+	r.rcv.Advance(n)
+	r.expected += packet.PSN(n)
+	r.sendAck(pkt, now)
+	r.maybeComplete(now)
+}
+
+// sendAck emits a cumulative ACK echoing the triggering packet's
+// timestamp and congestion marking.
+func (r *Receiver) sendAck(trigger *packet.Packet, _ sim.Time) {
+	ack := packet.NewAck(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected)
+	ack.AckedSentAt = trigger.SentAt
+	ack.ECNEcho = trigger.CE
+	r.Acks++
+	r.ep.SendControl(ack)
+}
+
+// sendNack emits an IRN NACK: cumulative ack plus the PSN that triggered
+// it (the simplified SACK).
+func (r *Receiver) sendNack(trigger *packet.Packet, _ sim.Time) {
+	n := packet.NewNack(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected, trigger.PSN)
+	n.AckedSentAt = trigger.SentAt
+	n.ECNEcho = trigger.CE
+	r.Nacks++
+	r.ep.SendControl(n)
+}
+
+// maybeComplete fires the completion callback when the whole message has
+// arrived.
+func (r *Receiver) maybeComplete(now sim.Time) {
+	if r.flow.Finished || r.received < r.total {
+		return
+	}
+	r.flow.Finished = true
+	r.flow.Finish = now
+	if r.onComplete != nil {
+		r.onComplete(now)
+	}
+}

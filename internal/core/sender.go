@@ -1,0 +1,410 @@
+package core
+
+import (
+	"github.com/irnsim/irn/internal/bitmap"
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/transport"
+)
+
+// Sender is the IRN sender state machine of §3.1/§3.2. It implements
+// transport.Source.
+//
+// Loss recovery: the sender tracks cumulative and selective
+// acknowledgements in a bitmap over [cumAck, cumAck+window). It enters
+// recovery on a NACK or timeout. The first retransmission is the packet
+// at the cumulative ack; any later packet counts as lost only if a higher
+// PSN has been selectively acked. When no lost packet remains, new packets
+// flow again (subject to BDP-FC), and recovery ends once the cumulative
+// ack passes the recovery sequence — the last regular packet sent before
+// the first retransmission.
+type Sender struct {
+	ep   transport.Endpoint
+	flow *transport.Flow
+	p    Params
+	cc   transport.Controller
+
+	total   int
+	cumAck  packet.PSN
+	nextNew packet.PSN
+	maxSent packet.PSN     // highest PSN ever transmitted + 1
+	acked   *bitmap.Bitmap // selective acks over [cumAck, ...)
+
+	inRecovery  bool
+	recoverySeq packet.PSN // last regular PSN sent before first retransmission
+	retxNext    packet.PSN // scan pointer for the next retransmission
+	highSack    packet.PSN // highest selectively-acked PSN (0 = none; stores PSN+1)
+
+	nackCount int // NACKs since last recovery entry (NackThreshold)
+
+	paceUntil  sim.Time
+	retxEligAt sim.Time // earliest next retransmission (fetch-delay model)
+
+	rto *sim.Timer
+	// Dynamic RTO estimator state (§4.3 question 3).
+	srtt, rttvar sim.Duration
+	haveRTT      bool
+
+	done bool
+
+	Stats SenderStats
+}
+
+// stopper is implemented by controllers with background timers (DCQCN).
+type stopper interface{ Stop() }
+
+// NewSender builds an IRN sender for flow on endpoint ep. cc may be nil
+// for no explicit congestion control.
+func NewSender(ep transport.Endpoint, flow *transport.Flow, p Params, ctrl transport.Controller) *Sender {
+	if ctrl == nil {
+		ctrl = transport.None{}
+	}
+	if flow.Pkts == 0 {
+		flow.Pkts = transport.NumPackets(flow.Size, p.MTU)
+	}
+	if p.NackThreshold < 1 {
+		p.NackThreshold = 1
+	}
+	s := &Sender{
+		ep:    ep,
+		flow:  flow,
+		p:     p,
+		cc:    ctrl,
+		total: flow.Pkts,
+	}
+	capPkts := p.BDPCap
+	if capPkts <= 0 || capPkts > s.total {
+		capPkts = s.total
+	}
+	if p.BDPCap <= 0 {
+		capPkts = s.total // uncapped window: bitmap must cover the message
+	}
+	s.acked = bitmap.New(capPkts + 1)
+	s.rto = sim.NewTimer(ep.Engine(), s.onTimeout)
+	return s
+}
+
+// Flow implements transport.Source.
+func (s *Sender) Flow() *transport.Flow { return s.flow }
+
+// Done implements transport.Source.
+func (s *Sender) Done() bool { return s.done }
+
+// inflight is the BDP-FC quantity: distance between the next new sequence
+// number and the last acknowledged one (§3.2).
+func (s *Sender) inflight() int { return int(s.nextNew - s.cumAck) }
+
+// windowOpen reports whether BDP-FC and the congestion window admit a new
+// (non-retransmitted) packet.
+func (s *Sender) windowOpen() bool {
+	inf := s.inflight()
+	if s.p.BDPCap > 0 && inf >= s.p.BDPCap {
+		return false
+	}
+	if w := s.cc.WindowPackets(); w > 0 && inf >= w {
+		return false
+	}
+	return true
+}
+
+// peekRetx reports the next retransmission candidate without consuming it.
+func (s *Sender) peekRetx() (packet.PSN, bool) {
+	if !s.inRecovery {
+		return 0, false
+	}
+	if s.p.Recovery == RecoveryGoBackN {
+		// Go-back-N rewinds nextNew instead of tracking retransmissions.
+		return 0, false
+	}
+	if s.retxNext <= s.cumAck {
+		// The cumulative ack itself is always the first retransmission.
+		if s.cumAck < packet.PSN(s.total) {
+			return s.cumAck, true
+		}
+		return 0, false
+	}
+	if s.p.Recovery == RecoveryNoSACK {
+		// Without SACK state only the cumulative-ack packet is ever
+		// retransmitted; retxNext > cumAck means it already was.
+		return 0, false
+	}
+	// A packet is lost only if a higher PSN was selectively acked.
+	if s.highSack == 0 || s.retxNext >= s.highSack {
+		return 0, false
+	}
+	off := s.acked.NextZero(int(s.retxNext - s.cumAck))
+	psn := s.cumAck + packet.PSN(off)
+	if psn < s.highSack && psn < packet.PSN(s.total) {
+		return psn, true
+	}
+	return 0, false
+}
+
+// HasData implements transport.Source.
+func (s *Sender) HasData(now sim.Time) (bool, sim.Time) {
+	if s.done {
+		return false, 0
+	}
+	if now < s.paceUntil {
+		return false, s.paceUntil
+	}
+	if _, ok := s.peekRetx(); ok {
+		if now < s.retxEligAt {
+			return false, s.retxEligAt
+		}
+		return true, 0
+	}
+	if s.nextNew < packet.PSN(s.total) && s.windowOpen() {
+		return true, 0
+	}
+	return false, 0
+}
+
+// NextPacket implements transport.Source.
+func (s *Sender) NextPacket(now sim.Time) *packet.Packet {
+	var psn packet.PSN
+	if p, ok := s.peekRetx(); ok && now >= s.retxEligAt {
+		psn = p
+		if s.retxNext <= s.cumAck {
+			s.retxNext = s.cumAck + 1
+		} else {
+			s.retxNext = psn + 1
+		}
+		if s.p.RetxFetchDelay > 0 {
+			// The next retransmission must be identified by a fresh
+			// look-ahead, costing another fetch (§6.3 worst case).
+			s.retxEligAt = now.Add(s.p.RetxFetchDelay)
+		}
+		s.Stats.Retransmits++
+	} else if s.nextNew < packet.PSN(s.total) && s.windowOpen() {
+		psn = s.nextNew
+		s.nextNew++
+		if psn < s.maxSent {
+			s.Stats.Retransmits++ // go-back-N rewind resend
+		}
+	} else {
+		return nil
+	}
+	if psn+1 > s.maxSent {
+		s.maxSent = psn + 1
+	}
+
+	payload := transport.PayloadOf(s.flow.Size, s.p.MTU, int(psn))
+	pkt := packet.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, psn, payload, int(psn) == s.total-1)
+	pkt.Wire += s.p.ExtraHeaderBytes
+	pkt.ECT = s.p.ECT
+	pkt.SentAt = now
+	s.Stats.Sent++
+
+	if d := s.cc.SendDelay(pkt.Wire); d > 0 {
+		s.paceUntil = now.Add(d)
+	}
+	s.armRTO(now)
+	return pkt
+}
+
+// rtoDuration picks the timeout per §3.1: RTOLow while few packets are in
+// flight (so single-packet messages recover quickly without spurious
+// retransmissions elsewhere), RTOHigh otherwise; or the dynamic estimate.
+func (s *Sender) rtoDuration() sim.Duration {
+	if s.p.DynamicRTO {
+		if !s.haveRTT {
+			return s.p.RTOHigh
+		}
+		rto := s.srtt + 4*s.rttvar
+		if rto < s.p.RTOLow {
+			rto = s.p.RTOLow
+		}
+		if rto > 4*s.p.RTOHigh {
+			rto = 4 * s.p.RTOHigh
+		}
+		return rto
+	}
+	if s.inflight() < s.p.RTOLowThreshold {
+		return s.p.RTOLow
+	}
+	return s.p.RTOHigh
+}
+
+// armRTO (re)arms the retransmission timer.
+func (s *Sender) armRTO(sim.Time) {
+	if s.done {
+		s.rto.Cancel()
+		return
+	}
+	s.rto.Arm(s.rtoDuration())
+}
+
+// onTimeout handles RTO expiry: enter (or restart) loss recovery from the
+// cumulative ack.
+func (s *Sender) onTimeout() {
+	if s.done {
+		return
+	}
+	if s.cumAck >= s.maxSent {
+		// Nothing outstanding; nothing to recover. Do not re-arm — the
+		// next transmission re-arms the timer.
+		return
+	}
+	s.Stats.Timeouts++
+	s.enterRecovery()
+	s.retxNext = s.cumAck // rescan from the start on timeout
+	if s.p.Recovery == RecoveryGoBackN {
+		s.goBackTo(s.cumAck)
+	}
+	if s.p.BackoffOnLoss {
+		s.cc.OnLoss(s.ep.Now())
+	}
+	s.armRTO(s.ep.Now())
+	s.ep.Wake()
+}
+
+// enterRecovery transitions into loss recovery if not already there.
+func (s *Sender) enterRecovery() {
+	if s.inRecovery {
+		return
+	}
+	s.inRecovery = true
+	s.Stats.Recoveries++
+	// "The recovery sequence corresponds to the last regular packet that
+	// was sent before the retransmission of a lost packet" — the highest
+	// PSN ever transmitted, which survives go-back-N rewinds.
+	if s.maxSent > 0 {
+		s.recoverySeq = s.maxSent - 1
+	} else {
+		s.recoverySeq = 0
+	}
+	s.nackCount = 0
+}
+
+// goBackTo rewinds the transmission point for go-back-N recovery.
+func (s *Sender) goBackTo(psn packet.PSN) {
+	if psn < s.nextNew {
+		s.nextNew = psn
+	}
+}
+
+// HandleControl implements transport.Source.
+func (s *Sender) HandleControl(pkt *packet.Packet, now sim.Time) {
+	switch pkt.Type {
+	case packet.TypeAck:
+		s.handleAck(pkt, now, false)
+	case packet.TypeNack:
+		s.handleAck(pkt, now, true)
+	case packet.TypeCNP:
+		s.cc.OnCNP(now)
+	}
+}
+
+// handleAck processes the cumulative portion shared by ACKs and NACKs,
+// then NACK-specific recovery state.
+func (s *Sender) handleAck(pkt *packet.Packet, now sim.Time, nack bool) {
+	if s.done {
+		return
+	}
+	// RTT sample from the echoed transmit timestamp.
+	if pkt.AckedSentAt > 0 {
+		rtt := now.Sub(pkt.AckedSentAt)
+		s.updateRTT(rtt)
+		newly := 0
+		if pkt.CumAck > s.cumAck {
+			newly = int(pkt.CumAck - s.cumAck)
+		}
+		if newly > 0 || !nack {
+			s.cc.OnAck(now, rtt, newly, pkt.ECNEcho)
+		}
+	}
+
+	if pkt.CumAck > s.cumAck {
+		s.acked.AdvanceTo(pkt.CumAck)
+		s.cumAck = pkt.CumAck
+		if s.retxNext < s.cumAck {
+			s.retxNext = s.cumAck
+		}
+		if s.nextNew < s.cumAck {
+			// A go-back-N rewind was overtaken by the cumulative ack
+			// (the receiver already had the rewound range buffered);
+			// never resend delivered packets.
+			s.nextNew = s.cumAck
+		}
+		s.nackCount = 0
+		if s.inRecovery && s.cumAck > s.recoverySeq {
+			s.inRecovery = false
+		}
+		s.armRTO(now)
+	}
+
+	if nack {
+		s.Stats.Nacks++
+		if s.p.Recovery == RecoverySACK && pkt.SackPSN >= s.cumAck {
+			if fresh, err := s.acked.Set(pkt.SackPSN); err == nil && fresh {
+				if pkt.SackPSN+1 > s.highSack {
+					s.highSack = pkt.SackPSN + 1
+				}
+			}
+		}
+		entered := false
+		if !s.inRecovery {
+			s.nackCount++
+			if s.nackCount >= s.p.NackThreshold {
+				s.enterRecovery()
+				entered = true
+				s.retxNext = s.cumAck
+				if s.p.RetxFetchDelay > 0 {
+					s.retxEligAt = now.Add(s.p.RetxFetchDelay)
+				}
+				if s.p.BackoffOnLoss {
+					s.cc.OnLoss(now)
+				}
+			}
+		}
+		// Go-back-N ablation (§4.3): the sender ignores the selective
+		// acknowledgement and rewinds to the cumulative ack on every
+		// NACK — the redundant-retransmission pathology of §4.2.3.
+		if s.p.Recovery == RecoveryGoBackN && (s.inRecovery || entered) {
+			s.goBackTo(s.cumAck)
+		}
+	}
+
+	if s.cumAck >= packet.PSN(s.total) {
+		s.finish()
+		return
+	}
+	s.ep.Wake()
+}
+
+// updateRTT feeds the dynamic RTO estimator (RFC 6298 shape).
+func (s *Sender) updateRTT(rtt sim.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if !s.haveRTT {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		s.haveRTT = true
+		return
+	}
+	d := s.srtt - rtt
+	if d < 0 {
+		d = -d
+	}
+	s.rttvar = (3*s.rttvar + d) / 4
+	s.srtt = (7*s.srtt + rtt) / 8
+}
+
+// finish marks the flow fully acknowledged and releases resources.
+func (s *Sender) finish() {
+	s.done = true
+	s.rto.Cancel()
+	if st, ok := s.cc.(stopper); ok {
+		st.Stop()
+	}
+	s.ep.Wake() // let the NIC reap this source
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/irnsim/irn/internal/core"
+)
+
+// Trend tests: the paper's headline findings must hold even at small
+// scale. These use few flows so the whole file stays test-suite fast;
+// absolute numbers are validated at larger scale by cmd/experiments and
+// the benchmarks.
+
+const trendFlows = 700
+
+func trendScenario(mut func(*Scenario)) Scenario {
+	s := Scenario{NumFlows: trendFlows, Seed: 11}
+	if mut != nil {
+		mut(&s)
+	}
+	return s
+}
+
+func TestTrendIRNBeatsRoCEWithPFC(t *testing.T) {
+	irn := Run(trendScenario(func(s *Scenario) { s.Transport = TransportIRN }))
+	roce := Run(trendScenario(func(s *Scenario) { s.Transport = TransportRoCE; s.PFC = true }))
+	if irn.Summary.Incomplete != 0 || roce.Summary.Incomplete != 0 {
+		t.Fatalf("incomplete flows: irn=%d roce=%d", irn.Summary.Incomplete, roce.Summary.Incomplete)
+	}
+	// Takeaway 1 (§4.2): IRN without PFC performs better than RoCE with
+	// PFC on all three metrics.
+	if irn.AvgSlowdown >= roce.AvgSlowdown {
+		t.Errorf("slowdown: IRN %.2f !< RoCE+PFC %.2f", irn.AvgSlowdown, roce.AvgSlowdown)
+	}
+	if irn.AvgFCT >= roce.AvgFCT {
+		t.Errorf("avg FCT: IRN %v !< RoCE+PFC %v", irn.AvgFCT, roce.AvgFCT)
+	}
+}
+
+func TestTrendRoCERequiresPFC(t *testing.T) {
+	with := Run(trendScenario(func(s *Scenario) { s.Transport = TransportRoCE; s.PFC = true }))
+	without := Run(trendScenario(func(s *Scenario) { s.Transport = TransportRoCE }))
+	// Takeaway 3 (§4.2.3): disabling PFC degrades RoCE.
+	if without.AvgFCT <= with.AvgFCT {
+		t.Errorf("RoCE avg FCT without PFC %v !> with PFC %v", without.AvgFCT, with.AvgFCT)
+	}
+	if without.Retransmits == 0 {
+		t.Error("RoCE without PFC should retransmit heavily")
+	}
+	if with.Net.Drops != 0 {
+		t.Errorf("PFC run dropped %d packets", with.Net.Drops)
+	}
+}
+
+func TestTrendIRNDoesNotRequirePFC(t *testing.T) {
+	without := Run(trendScenario(func(s *Scenario) { s.Transport = TransportIRN }))
+	with := Run(trendScenario(func(s *Scenario) { s.Transport = TransportIRN; s.PFC = true }))
+	// Takeaway 2 (§4.2.2): enabling PFC must not significantly improve
+	// IRN (at depth it actively hurts). Allow a small tolerance at this
+	// scale.
+	if with.AvgFCT < sim75percent(without.AvgFCT) {
+		t.Errorf("PFC improved IRN too much: %v vs %v", with.AvgFCT, without.AvgFCT)
+	}
+}
+
+func sim75percent[T ~int64](v T) T { return v * 3 / 4 }
+
+func TestTrendGoBackNHurts(t *testing.T) {
+	irn := Run(trendScenario(nil))
+	gbn := Run(trendScenario(func(s *Scenario) { s.Recovery = core.RecoveryGoBackN }))
+	if gbn.AvgFCT <= irn.AvgFCT {
+		t.Errorf("go-back-N FCT %v !> IRN %v", gbn.AvgFCT, irn.AvgFCT)
+	}
+	if gbn.Retransmits <= irn.Retransmits {
+		t.Errorf("go-back-N retransmits %d !> IRN %d", gbn.Retransmits, irn.Retransmits)
+	}
+}
+
+func TestTrendNoBDPFCHurts(t *testing.T) {
+	irn := Run(trendScenario(nil))
+	no := Run(trendScenario(func(s *Scenario) { s.NoBDPFC = true }))
+	if no.AvgFCT <= irn.AvgFCT {
+		t.Errorf("no-BDP-FC FCT %v !> IRN %v", no.AvgFCT, irn.AvgFCT)
+	}
+	if no.Net.Drops <= irn.Net.Drops {
+		t.Errorf("no-BDP-FC drops %d !> IRN %d", no.Net.Drops, irn.Net.Drops)
+	}
+}
+
+func TestTrendCCReducesDrops(t *testing.T) {
+	plain := Run(trendScenario(nil))
+	timely := Run(trendScenario(func(s *Scenario) { s.CC = CCTimely }))
+	dcqcn := Run(trendScenario(func(s *Scenario) { s.CC = CCDCQCN }))
+	if timely.Net.Drops >= plain.Net.Drops {
+		t.Errorf("Timely drops %d !< no-CC %d", timely.Net.Drops, plain.Net.Drops)
+	}
+	if dcqcn.Net.Drops >= plain.Net.Drops {
+		t.Errorf("DCQCN drops %d !< no-CC %d", dcqcn.Net.Drops, plain.Net.Drops)
+	}
+	if dcqcn.Net.ECNMarked == 0 {
+		t.Error("DCQCN run never marked a packet")
+	}
+}
+
+func TestTrendIncastComparable(t *testing.T) {
+	// §4.4.3: incast without cross-traffic is PFC's best case; IRN must
+	// stay comparable (paper: within 2.5%; we allow 15% at small scale).
+	irn := Run(Scenario{Transport: TransportIRN, IncastM: 20, IncastBytes: 10_000_000, Seed: 3})
+	roce := Run(Scenario{Transport: TransportRoCE, PFC: true, IncastM: 20, IncastBytes: 10_000_000, Seed: 3})
+	if irn.RCT == 0 || roce.RCT == 0 {
+		t.Fatalf("incast RCTs: irn=%v roce=%v", irn.RCT, roce.RCT)
+	}
+	ratio := float64(irn.RCT) / float64(roce.RCT)
+	if ratio > 1.15 {
+		t.Errorf("incast RCT ratio IRN/RoCE = %.3f, want <= 1.15", ratio)
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a := Run(trendScenario(nil))
+	b := Run(trendScenario(nil))
+	if a.AvgFCT != b.AvgFCT || a.Net.Drops != b.Net.Drops || a.Events != b.Events {
+		t.Error("identical scenarios diverged")
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	s := Scenario{}.normalize()
+	if s.Arity != 6 || s.Gbps != 40 || s.MTU != 1000 || s.Load != 0.7 {
+		t.Errorf("defaults wrong: %+v", s)
+	}
+	if s.RTOLow == 0 || s.RTOHigh == 0 || s.RTOLowN != 3 || s.NackThreshold != 1 {
+		t.Errorf("IRN defaults wrong: %+v", s)
+	}
+}
+
+func TestPresetsRegistry(t *testing.T) {
+	sc := BenchScale()
+	all := All(sc)
+	if len(all) < 20 {
+		t.Fatalf("experiments = %d, want >= 20", len(all))
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Description == "" || len(e.Scenarios) == 0 {
+			t.Errorf("experiment %q malformed", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		ids[e.ID] = true
+		for _, s := range e.Scenarios {
+			if s.Name == "" {
+				t.Errorf("experiment %q has unnamed scenario", e.ID)
+			}
+		}
+	}
+	for _, want := range []string{"fig1", "fig7", "fig9", "fig12", "tableA3", "tableA9", "ablations"} {
+		if _, ok := ByID(want, sc); !ok {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+	if _, ok := ByID("nope", sc); ok {
+		t.Error("ByID should miss")
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	// Small smoke render per kind — exercised on tiny synthetic results.
+	mkRes := func(name string, m int, tr Transport) Result {
+		r := Result{Name: name}
+		r.Scenario.IncastM = m
+		r.Scenario.Transport = tr
+		r.Summary.AvgSlowdown = 2
+		r.RCT = 1000
+		return r
+	}
+	bars := Render(Experiment{ID: "x", Description: "d"}, []Result{mkRes("a", 0, TransportIRN)})
+	if !strings.Contains(bars, "avg_slowdown") || !strings.Contains(bars, "=== x") {
+		t.Errorf("bars render: %q", bars)
+	}
+	incast := Render(Experiment{ID: "y", Description: "d", Kind: ReportIncast},
+		[]Result{mkRes("roce", 10, TransportRoCE), mkRes("irn", 10, TransportIRN)})
+	if !strings.Contains(incast, "RCT ratio") {
+		t.Errorf("incast render: %q", incast)
+	}
+	cdf := Render(Experiment{ID: "z", Description: "d", Kind: ReportCDF}, []Result{mkRes("a", 0, TransportIRN)})
+	if !strings.Contains(cdf, "p99.9_ms") {
+		t.Errorf("cdf render: %q", cdf)
+	}
+	ratios := Render(Experiment{ID: "w", Description: "d", Kind: ReportRatios},
+		[]Result{mkRes("a", 0, TransportIRN), mkRes("b", 0, TransportIRN), mkRes("c", 0, TransportRoCE)})
+	if !strings.Contains(ratios, "IRN/(RoCE+PFC)") {
+		t.Errorf("ratios render: %q", ratios)
+	}
+}

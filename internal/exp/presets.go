@@ -1,0 +1,519 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/irnsim/irn/internal/core"
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// Experiment groups the scenario variants that regenerate one figure or
+// table of the paper.
+type Experiment struct {
+	ID          string
+	Description string
+	Scenarios   []Scenario
+	// Kind hints the report renderer (comparison bars, ratio table,
+	// CDF, incast series).
+	Kind ReportKind
+}
+
+// ReportKind selects the rendering of an experiment's results.
+type ReportKind uint8
+
+// Report kinds.
+const (
+	ReportBars   ReportKind = iota // side-by-side metric comparison
+	ReportRatios                   // appendix-style ratio tables
+	ReportCDF                      // Figure 8 tail CDFs
+	ReportIncast                   // Figure 9 RCT ratios
+)
+
+// Scale globally adjusts experiment size: the number of Poisson flows per
+// run. The paper's runs use tens of thousands of flows on a testbed-grade
+// simulator; the default here keeps a full suite run in minutes. Results
+// converge (slowly) toward steady state as this grows.
+type Scale struct {
+	Flows       int
+	IncastBytes int
+	IncastReps  int
+}
+
+// DefaultScale is used by cmd/experiments (plausible fidelity in minutes).
+func DefaultScale() Scale {
+	return Scale{Flows: 4000, IncastBytes: 15_000_000, IncastReps: 3}
+}
+
+// BenchScale is used by bench_test.go (fast regression signal).
+func BenchScale() Scale {
+	return Scale{Flows: 1000, IncastBytes: 6_000_000, IncastReps: 1}
+}
+
+// base returns the paper's default-case scenario at the given scale.
+func base(sc Scale) Scenario {
+	return Scenario{NumFlows: sc.Flows}
+}
+
+func named(s Scenario, name string, mut func(*Scenario)) Scenario {
+	s.Name = name
+	if mut != nil {
+		mut(&s)
+	}
+	return s
+}
+
+// Figure1 compares IRN (without PFC) against RoCE (with PFC).
+func Figure1(sc Scale) Experiment {
+	return Experiment{
+		ID:          "fig1",
+		Description: "IRN vs RoCE (no explicit congestion control)",
+		Scenarios: []Scenario{
+			named(base(sc), "RoCE (with PFC)", func(s *Scenario) { s.Transport = TransportRoCE; s.PFC = true }),
+			named(base(sc), "IRN (without PFC)", func(s *Scenario) { s.Transport = TransportIRN }),
+		},
+	}
+}
+
+// Figure2 measures the impact of enabling PFC with IRN.
+func Figure2(sc Scale) Experiment {
+	return Experiment{
+		ID:          "fig2",
+		Description: "Impact of enabling PFC with IRN",
+		Scenarios: []Scenario{
+			named(base(sc), "IRN with PFC", func(s *Scenario) { s.Transport = TransportIRN; s.PFC = true }),
+			named(base(sc), "IRN (without PFC)", func(s *Scenario) { s.Transport = TransportIRN }),
+		},
+	}
+}
+
+// Figure3 measures the impact of disabling PFC with RoCE.
+func Figure3(sc Scale) Experiment {
+	return Experiment{
+		ID:          "fig3",
+		Description: "Impact of disabling PFC with RoCE",
+		Scenarios: []Scenario{
+			named(base(sc), "RoCE (with PFC)", func(s *Scenario) { s.Transport = TransportRoCE; s.PFC = true }),
+			named(base(sc), "RoCE without PFC", func(s *Scenario) { s.Transport = TransportRoCE }),
+		},
+	}
+}
+
+// Figure4 compares IRN and RoCE under Timely and DCQCN.
+func Figure4(sc Scale) Experiment {
+	e := Experiment{ID: "fig4", Description: "IRN vs RoCE with explicit congestion control (Timely, DCQCN)"}
+	for _, kind := range []CCKind{CCTimely, CCDCQCN} {
+		e.Scenarios = append(e.Scenarios,
+			named(base(sc), fmt.Sprintf("RoCE+%s (with PFC)", kind), func(s *Scenario) {
+				s.Transport = TransportRoCE
+				s.CC = kind
+				s.PFC = true
+			}),
+			named(base(sc), fmt.Sprintf("IRN+%s (without PFC)", kind), func(s *Scenario) {
+				s.Transport = TransportIRN
+				s.CC = kind
+			}),
+		)
+	}
+	return e
+}
+
+// Figure5 measures PFC's impact on IRN under Timely and DCQCN.
+func Figure5(sc Scale) Experiment {
+	e := Experiment{ID: "fig5", Description: "Impact of enabling PFC with IRN under Timely/DCQCN"}
+	for _, kind := range []CCKind{CCTimely, CCDCQCN} {
+		e.Scenarios = append(e.Scenarios,
+			named(base(sc), fmt.Sprintf("IRN+%s with PFC", kind), func(s *Scenario) {
+				s.Transport = TransportIRN
+				s.CC = kind
+				s.PFC = true
+			}),
+			named(base(sc), fmt.Sprintf("IRN+%s (without PFC)", kind), func(s *Scenario) {
+				s.Transport = TransportIRN
+				s.CC = kind
+			}),
+		)
+	}
+	return e
+}
+
+// Figure6 measures PFC's impact on RoCE under Timely and DCQCN. The
+// RoCE+DCQCN-without-PFC row is Resilient RoCE (§4.5, footnote 3).
+func Figure6(sc Scale) Experiment {
+	e := Experiment{ID: "fig6", Description: "Impact of disabling PFC with RoCE under Timely/DCQCN"}
+	for _, kind := range []CCKind{CCTimely, CCDCQCN} {
+		e.Scenarios = append(e.Scenarios,
+			named(base(sc), fmt.Sprintf("RoCE+%s (with PFC)", kind), func(s *Scenario) {
+				s.Transport = TransportRoCE
+				s.CC = kind
+				s.PFC = true
+			}),
+			named(base(sc), fmt.Sprintf("RoCE+%s without PFC", kind), func(s *Scenario) {
+				s.Transport = TransportRoCE
+				s.CC = kind
+			}),
+		)
+	}
+	return e
+}
+
+// Figure7 is the factor analysis: default IRN vs go-back-N recovery vs
+// disabled BDP-FC, for each congestion-control setting.
+func Figure7(sc Scale) Experiment {
+	e := Experiment{ID: "fig7", Description: "Factor analysis of IRN (loss recovery vs BDP-FC)"}
+	for _, kind := range []CCKind{CCNone, CCTimely, CCDCQCN} {
+		suffix := ""
+		if kind != CCNone {
+			suffix = "+" + kind.String()
+		}
+		e.Scenarios = append(e.Scenarios,
+			named(base(sc), "IRN"+suffix, func(s *Scenario) { s.CC = kind }),
+			named(base(sc), "IRN"+suffix+" with Go-Back-N", func(s *Scenario) {
+				s.CC = kind
+				s.Recovery = core.RecoveryGoBackN
+			}),
+			named(base(sc), "IRN"+suffix+" without BDP-FC", func(s *Scenario) {
+				s.CC = kind
+				s.NoBDPFC = true
+			}),
+		)
+	}
+	return e
+}
+
+// Figure8 collects the single-packet-message tail latency CDFs for IRN,
+// IRN+PFC and RoCE+PFC across congestion-control schemes.
+func Figure8(sc Scale) Experiment {
+	e := Experiment{ID: "fig8", Description: "Tail latency CDF for single-packet messages", Kind: ReportCDF}
+	for _, kind := range []CCKind{CCNone, CCTimely, CCDCQCN} {
+		suffix := ""
+		if kind != CCNone {
+			suffix = "+" + kind.String()
+		}
+		e.Scenarios = append(e.Scenarios,
+			named(base(sc), "RoCE"+suffix+" (with PFC)", func(s *Scenario) {
+				s.Transport = TransportRoCE
+				s.CC = kind
+				s.PFC = true
+			}),
+			named(base(sc), "IRN"+suffix+" with PFC", func(s *Scenario) {
+				s.CC = kind
+				s.PFC = true
+			}),
+			named(base(sc), "IRN"+suffix+" (without PFC)", func(s *Scenario) { s.CC = kind }),
+		)
+	}
+	return e
+}
+
+// Figure9 sweeps incast fan-in M, comparing IRN (no PFC) against RoCE
+// (PFC) on request completion time.
+func Figure9(sc Scale) Experiment {
+	e := Experiment{ID: "fig9", Description: "Incast RCT ratio (IRN/RoCE) vs fan-in", Kind: ReportIncast}
+	for _, m := range []int{10, 20, 30, 40, 50} {
+		for rep := 0; rep < sc.IncastReps; rep++ {
+			seed := uint64(1000*m + rep + 1)
+			e.Scenarios = append(e.Scenarios,
+				named(Scenario{}, fmt.Sprintf("RoCE+PFC incast M=%d rep=%d", m, rep), func(s *Scenario) {
+					s.Transport = TransportRoCE
+					s.PFC = true
+					s.IncastM = m
+					s.IncastBytes = sc.IncastBytes
+					s.NumFlows = 0
+					s.Seed = seed
+				}),
+				named(Scenario{}, fmt.Sprintf("IRN incast M=%d rep=%d", m, rep), func(s *Scenario) {
+					s.Transport = TransportIRN
+					s.IncastM = m
+					s.IncastBytes = sc.IncastBytes
+					s.NumFlows = 0
+					s.Seed = seed
+				}),
+			)
+		}
+	}
+	return e
+}
+
+// IncastCrossTraffic is the §4.4.3 variant: M=30 incast over a 50%-load
+// background workload.
+func IncastCrossTraffic(sc Scale) Experiment {
+	mk := func(name string, mut func(*Scenario)) Scenario {
+		return named(Scenario{
+			IncastM:     30,
+			IncastBytes: sc.IncastBytes,
+			NumFlows:    sc.Flows / 2,
+			Load:        0.5,
+		}, name, mut)
+	}
+	return Experiment{
+		ID:          "incast-cross",
+		Description: "Incast (M=30) with 50% background load",
+		Kind:        ReportIncast,
+		Scenarios: []Scenario{
+			mk("RoCE+PFC", func(s *Scenario) { s.Transport = TransportRoCE; s.PFC = true }),
+			mk("IRN", func(s *Scenario) { s.Transport = TransportIRN }),
+			mk("IRN with PFC", func(s *Scenario) { s.Transport = TransportIRN; s.PFC = true }),
+		},
+	}
+}
+
+// Figure10 compares Resilient RoCE (RoCE+DCQCN without PFC) against plain
+// IRN.
+func Figure10(sc Scale) Experiment {
+	return Experiment{
+		ID:          "fig10",
+		Description: "Resilient RoCE (RoCE+DCQCN, no PFC) vs IRN (no CC, no PFC)",
+		Scenarios: []Scenario{
+			named(base(sc), "Resilient RoCE", func(s *Scenario) { s.Transport = TransportRoCE; s.CC = CCDCQCN }),
+			named(base(sc), "IRN", func(s *Scenario) { s.Transport = TransportIRN }),
+		},
+	}
+}
+
+// Figure11 compares the iWARP TCP stack against IRN, plus the §4.6
+// IRN+AIMD variant.
+func Figure11(sc Scale) Experiment {
+	return Experiment{
+		ID:          "fig11",
+		Description: "iWARP (full TCP stack) vs IRN",
+		Scenarios: []Scenario{
+			named(base(sc), "iWARP (TCP)", func(s *Scenario) { s.Transport = TransportTCP }),
+			named(base(sc), "IRN", func(s *Scenario) { s.Transport = TransportIRN }),
+			named(base(sc), "IRN+AIMD", func(s *Scenario) { s.Transport = TransportIRN; s.CC = CCAIMD }),
+		},
+	}
+}
+
+// Figure12 measures IRN with the §6.3 worst-case implementation
+// overheads: a 2 µs retransmission fetch delay and 16 extra header bytes
+// on every packet.
+func Figure12(sc Scale) Experiment {
+	e := Experiment{ID: "fig12", Description: "IRN with worst-case implementation overheads"}
+	for _, kind := range []CCKind{CCNone, CCTimely, CCDCQCN} {
+		suffix := ""
+		if kind != CCNone {
+			suffix = "+" + kind.String()
+		}
+		e.Scenarios = append(e.Scenarios,
+			named(base(sc), "RoCE"+suffix+" (with PFC)", func(s *Scenario) {
+				s.Transport = TransportRoCE
+				s.CC = kind
+				s.PFC = true
+			}),
+			named(base(sc), "IRN"+suffix+" (no overheads)", func(s *Scenario) { s.CC = kind }),
+			named(base(sc), "IRN"+suffix+" (worst-case overheads)", func(s *Scenario) {
+				s.CC = kind
+				s.RetxFetchDelay = 2 * sim.Microsecond
+				s.ExtraHeader = 16
+			}),
+		)
+	}
+	return e
+}
+
+// irnTriple builds the appendix tables' three-way comparison (IRN,
+// IRN+PFC, RoCE+PFC) for one CC kind with a scenario mutation applied.
+func irnTriple(sc Scale, kind CCKind, label string, mut func(*Scenario)) []Scenario {
+	suffix := ""
+	if kind != CCNone {
+		suffix = "+" + kind.String()
+	}
+	mk := func(name string, f func(*Scenario)) Scenario {
+		s := base(sc)
+		s.CC = kind
+		mut(&s)
+		return named(s, name, f)
+	}
+	return []Scenario{
+		mk(fmt.Sprintf("IRN%s [%s]", suffix, label), func(s *Scenario) { s.Transport = TransportIRN }),
+		mk(fmt.Sprintf("IRN%s+PFC [%s]", suffix, label), func(s *Scenario) { s.Transport = TransportIRN; s.PFC = true }),
+		mk(fmt.Sprintf("RoCE%s+PFC [%s]", suffix, label), func(s *Scenario) { s.Transport = TransportRoCE; s.PFC = true }),
+	}
+}
+
+// sweep builds an appendix table: for each parameter value and CC kind,
+// the IRN / IRN+PFC / RoCE+PFC triple.
+func sweep(id, desc string, sc Scale, labels []string, muts []func(*Scenario)) Experiment {
+	e := Experiment{ID: id, Description: desc, Kind: ReportRatios}
+	for i := range labels {
+		for _, kind := range []CCKind{CCNone, CCTimely, CCDCQCN} {
+			e.Scenarios = append(e.Scenarios, irnTriple(sc, kind, labels[i], muts[i])...)
+		}
+	}
+	return e
+}
+
+// TableA3 sweeps link utilization (30-90%).
+func TableA3(sc Scale) Experiment {
+	loads := []float64{0.3, 0.5, 0.7, 0.9}
+	labels := make([]string, len(loads))
+	muts := make([]func(*Scenario), len(loads))
+	for i, l := range loads {
+		l := l
+		labels[i] = fmt.Sprintf("load=%.0f%%", l*100)
+		muts[i] = func(s *Scenario) { s.Load = l }
+	}
+	return sweep("tableA3", "Robustness to link utilization (30-90%)", sc, labels, muts)
+}
+
+// TableA4 sweeps link bandwidth (10/40/100 Gbps).
+func TableA4(sc Scale) Experiment {
+	bws := []float64{10, 40, 100}
+	labels := make([]string, len(bws))
+	muts := make([]func(*Scenario), len(bws))
+	for i, b := range bws {
+		b := b
+		labels[i] = fmt.Sprintf("bw=%.0fGbps", b)
+		muts[i] = func(s *Scenario) { s.Gbps = b }
+	}
+	return sweep("tableA4", "Robustness to link bandwidth (10/40/100 Gbps)", sc, labels, muts)
+}
+
+// TableA5 sweeps fat-tree scale (54/128/250 hosts).
+func TableA5(sc Scale) Experiment {
+	arities := []int{6, 8, 10}
+	labels := make([]string, len(arities))
+	muts := make([]func(*Scenario), len(arities))
+	for i, k := range arities {
+		k := k
+		labels[i] = fmt.Sprintf("k=%d (%d hosts)", k, k*k*k/4)
+		muts[i] = func(s *Scenario) { s.Arity = k }
+	}
+	return sweep("tableA5", "Robustness to topology scale", sc, labels, muts)
+}
+
+// TableA6 compares the heavy-tailed and uniform workloads.
+func TableA6(sc Scale) Experiment {
+	return sweep("tableA6", "Robustness to workload pattern", sc,
+		[]string{"heavy-tailed", "uniform 500KB-5MB"},
+		[]func(*Scenario){
+			func(s *Scenario) { s.Workload = WorkloadHeavyTailed },
+			func(s *Scenario) { s.Workload = WorkloadUniform },
+		})
+}
+
+// TableA7 sweeps per-port buffer size (60-480 KB).
+func TableA7(sc Scale) Experiment {
+	bufs := []int{60_000, 120_000, 240_000, 480_000}
+	labels := make([]string, len(bufs))
+	muts := make([]func(*Scenario), len(bufs))
+	for i, b := range bufs {
+		b := b
+		labels[i] = fmt.Sprintf("buffer=%dKB", b/1000)
+		muts[i] = func(s *Scenario) { s.BufferBytes = b }
+	}
+	return sweep("tableA7", "Robustness to per-port buffer size", sc, labels, muts)
+}
+
+// TableA8 sweeps RTOHigh (320/640/1280 µs).
+func TableA8(sc Scale) Experiment {
+	rtos := []sim.Duration{320 * sim.Microsecond, 640 * sim.Microsecond, 1280 * sim.Microsecond}
+	labels := make([]string, len(rtos))
+	muts := make([]func(*Scenario), len(rtos))
+	for i, r := range rtos {
+		r := r
+		labels[i] = fmt.Sprintf("RTOhigh=%dus", int64(r/sim.Microsecond))
+		muts[i] = func(s *Scenario) { s.RTOHigh = r }
+	}
+	return sweep("tableA8", "Robustness to RTOhigh over-estimation", sc, labels, muts)
+}
+
+// TableA9 sweeps N, the in-flight threshold for using RTOLow (3/10/15).
+func TableA9(sc Scale) Experiment {
+	ns := []int{3, 10, 15}
+	labels := make([]string, len(ns))
+	muts := make([]func(*Scenario), len(ns))
+	for i, n := range ns {
+		n := n
+		labels[i] = fmt.Sprintf("N=%d", n)
+		muts[i] = func(s *Scenario) { s.RTOLowN = n }
+	}
+	return sweep("tableA9", "Robustness to the RTOlow threshold N", sc, labels, muts)
+}
+
+// WindowCC is the §4.4.4 check: window-based congestion control (AIMD,
+// DCTCP) on IRN, with and without PFC.
+func WindowCC(sc Scale) Experiment {
+	e := Experiment{ID: "windowcc", Description: "Window-based congestion control on IRN (§4.4.4)"}
+	for _, kind := range []CCKind{CCAIMD, CCDCTCP} {
+		e.Scenarios = append(e.Scenarios,
+			named(base(sc), fmt.Sprintf("IRN+%s with PFC", kind), func(s *Scenario) {
+				s.CC = kind
+				s.PFC = true
+			}),
+			named(base(sc), fmt.Sprintf("IRN+%s (without PFC)", kind), func(s *Scenario) { s.CC = kind }),
+		)
+	}
+	return e
+}
+
+// Ablations covers the §4.3 design-space exploration beyond Figure 7: go-back-N
+// with loss backoff, selective retransmit without SACK state, dynamic
+// timeouts, and BDP over-estimation (§3.2 footnote).
+func Ablations(sc Scale) Experiment {
+	return Experiment{
+		ID:          "ablations",
+		Description: "Design ablations (§4.3): GBN+backoff, no-SACK, dynamic RTO, BDP over-estimation",
+		Scenarios: []Scenario{
+			named(base(sc), "IRN", nil),
+			named(base(sc), "GBN+backoff+Timely", func(s *Scenario) {
+				s.CC = CCTimely
+				s.Recovery = core.RecoveryGoBackN
+				s.BackoffOnLoss = true
+			}),
+			named(base(sc), "GBN+Timely", func(s *Scenario) {
+				s.CC = CCTimely
+				s.Recovery = core.RecoveryGoBackN
+			}),
+			named(base(sc), "IRN+Timely", func(s *Scenario) { s.CC = CCTimely }),
+			named(base(sc), "no-SACK", func(s *Scenario) { s.Recovery = core.RecoveryNoSACK }),
+			named(base(sc), "dynamic RTO", func(s *Scenario) { s.DynamicRTO = true }),
+			named(base(sc), "BDP cap x2", func(s *Scenario) { s.BDPCapScale = 2 }),
+			named(base(sc), "BDP cap x4", func(s *Scenario) { s.BDPCapScale = 4 }),
+		},
+	}
+}
+
+// Reordering is the §7 study: per-packet spraying reorders flows; IRN's
+// NACK threshold restores performance without a lossless fabric. The
+// shared-buffer variant checks the §A.5 expectation that the basic
+// results carry over to shared-buffer switches.
+func Reordering(sc Scale) Experiment {
+	return Experiment{
+		ID:          "reorder",
+		Description: "Packet spraying + NACK threshold (§7); shared-buffer switches (§A.5)",
+		Scenarios: []Scenario{
+			named(base(sc), "IRN ECMP", nil),
+			named(base(sc), "IRN spray thresh=1", func(s *Scenario) { s.Spray = true }),
+			named(base(sc), "IRN spray thresh=3", func(s *Scenario) { s.Spray = true; s.NackThreshold = 3 }),
+			named(base(sc), "IRN spray thresh=5", func(s *Scenario) { s.Spray = true; s.NackThreshold = 5 }),
+			named(base(sc), "IRN shared-buffer", func(s *Scenario) { s.SharedBuffer = true }),
+			named(base(sc), "RoCE+PFC shared-buffer", func(s *Scenario) {
+				s.Transport = TransportRoCE
+				s.PFC = true
+				s.SharedBuffer = true
+			}),
+		},
+	}
+}
+
+// All returns every experiment in paper order.
+func All(sc Scale) []Experiment {
+	return []Experiment{
+		Figure1(sc), Figure2(sc), Figure3(sc), Figure4(sc), Figure5(sc),
+		Figure6(sc), Figure7(sc), Figure8(sc), Figure9(sc), Figure10(sc),
+		Figure11(sc), Figure12(sc), IncastCrossTraffic(sc), WindowCC(sc),
+		TableA3(sc), TableA4(sc), TableA5(sc), TableA6(sc), TableA7(sc),
+		TableA8(sc), TableA9(sc), Ablations(sc), Reordering(sc),
+	}
+}
+
+// ByID returns one experiment by id, or false.
+func ByID(id string, sc Scale) (Experiment, bool) {
+	for _, e := range All(sc) {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

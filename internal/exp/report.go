@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/irnsim/irn/internal/metrics"
+)
+
+// RunExperiment executes every scenario of an experiment sequentially.
+func RunExperiment(e Experiment) []Result {
+	results := make([]Result, 0, len(e.Scenarios))
+	for _, s := range e.Scenarios {
+		results = append(results, Run(s))
+	}
+	return results
+}
+
+// Render produces the experiment's report: the same rows/series the
+// paper's figure or table presents.
+func Render(e Experiment, results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", e.ID, e.Description)
+	switch e.Kind {
+	case ReportCDF:
+		renderCDF(&b, results)
+	case ReportIncast:
+		renderIncast(&b, results)
+	case ReportRatios:
+		renderRatios(&b, results)
+	default:
+		renderBars(&b, results)
+	}
+	return b.String()
+}
+
+// renderBars prints the three headline metrics per scenario, the format
+// of Figures 1-7 and 10-12.
+func renderBars(b *strings.Builder, results []Result) {
+	fmt.Fprintf(b, "%-42s %14s %14s %14s %10s %10s\n",
+		"scenario", "avg_slowdown", "avg_fct_ms", "p99_fct_ms", "drops", "incomplete")
+	for _, r := range results {
+		fmt.Fprintf(b, "%-42s %14.2f %14.4f %14.4f %10d %10d\n",
+			r.Name, r.AvgSlowdown, r.AvgFCT.Millis(), r.TailFCT.Millis(),
+			r.Net.Drops, r.Summary.Incomplete)
+	}
+}
+
+// renderCDF prints the Figure 8 single-packet tail series.
+func renderCDF(b *strings.Builder, results []Result) {
+	fmt.Fprintf(b, "%-42s %12s %12s %12s %12s\n",
+		"scenario", "p90_ms", "p95_ms", "p99_ms", "p99.9_ms")
+	for _, r := range results {
+		fmt.Fprintf(b, "%-42s", r.Name)
+		for _, pt := range r.SinglePktCDF {
+			fmt.Fprintf(b, " %12.4f", pt.Latency.Millis())
+		}
+		fmt.Fprintln(b)
+	}
+}
+
+// renderIncast prints per-fan-in RCTs and the IRN/RoCE ratio — the
+// Figure 9 series. Scenario names carry "M=<m>"; pairs are matched by M
+// and averaged across repetitions.
+func renderIncast(b *strings.Builder, results []Result) {
+	type acc struct {
+		irn, roce float64
+		nIRN      int
+		nRoCE     int
+	}
+	byM := map[int]*acc{}
+	var ms []int
+	for _, r := range results {
+		m := r.Scenario.IncastM
+		a, ok := byM[m]
+		if !ok {
+			a = &acc{}
+			byM[m] = a
+			ms = append(ms, m)
+		}
+		if r.Scenario.Transport == TransportIRN {
+			a.irn += r.RCT.Millis()
+			a.nIRN++
+		} else {
+			a.roce += r.RCT.Millis()
+			a.nRoCE++
+		}
+	}
+	sort.Ints(ms)
+	fmt.Fprintf(b, "%8s %16s %16s %16s\n", "M", "IRN_rct_ms", "RoCE_rct_ms", "RCT ratio IRN/RoCE")
+	for _, m := range ms {
+		a := byM[m]
+		if a.nIRN == 0 || a.nRoCE == 0 {
+			continue
+		}
+		irn := a.irn / float64(a.nIRN)
+		roce := a.roce / float64(a.nRoCE)
+		fmt.Fprintf(b, "%8d %16.3f %16.3f %16.3f\n", m, irn, roce, metrics.Ratio(irn, roce))
+	}
+}
+
+// renderRatios prints the appendix-table format: absolute IRN numbers and
+// the IRN/(IRN+PFC) and IRN/(RoCE+PFC) ratios per parameter setting and
+// congestion control. Scenarios arrive in irnTriple order.
+func renderRatios(b *strings.Builder, results []Result) {
+	fmt.Fprintf(b, "%-44s %14s %14s %14s\n", "variant", "avg_slowdown", "avg_fct_ms", "p99_fct_ms")
+	for i := 0; i+2 < len(results); i += 3 {
+		irn, irnPFC, rocePFC := results[i], results[i+1], results[i+2]
+		fmt.Fprintf(b, "%-44s %14.2f %14.4f %14.4f\n",
+			irn.Name, irn.AvgSlowdown, irn.AvgFCT.Millis(), irn.TailFCT.Millis())
+		fmt.Fprintf(b, "%-44s %14.3f %14.3f %14.3f\n",
+			"  ratio IRN/(IRN+PFC)",
+			metrics.Ratio(irn.AvgSlowdown, irnPFC.AvgSlowdown),
+			metrics.Ratio(irn.AvgFCT.Millis(), irnPFC.AvgFCT.Millis()),
+			metrics.Ratio(irn.TailFCT.Millis(), irnPFC.TailFCT.Millis()))
+		fmt.Fprintf(b, "%-44s %14.3f %14.3f %14.3f\n",
+			"  ratio IRN/(RoCE+PFC)",
+			metrics.Ratio(irn.AvgSlowdown, rocePFC.AvgSlowdown),
+			metrics.Ratio(irn.AvgFCT.Millis(), rocePFC.AvgFCT.Millis()),
+			metrics.Ratio(irn.TailFCT.Millis(), rocePFC.TailFCT.Millis()))
+	}
+}

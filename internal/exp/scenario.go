@@ -1,0 +1,448 @@
+// Package exp is the experiment harness: it instantiates a scenario (the
+// paper's default case or any of its §4.4 variations), wires the chosen
+// transport and congestion control onto every generated flow, runs the
+// simulation, and reports the paper's metrics. Each figure and table of
+// the evaluation has a named preset in presets.go.
+package exp
+
+import (
+	"fmt"
+
+	"github.com/irnsim/irn/internal/cc"
+	"github.com/irnsim/irn/internal/core"
+	"github.com/irnsim/irn/internal/fabric"
+	"github.com/irnsim/irn/internal/metrics"
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/rocev2"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/tcpstack"
+	"github.com/irnsim/irn/internal/topo"
+	"github.com/irnsim/irn/internal/transport"
+	"github.com/irnsim/irn/internal/workload"
+)
+
+// Transport selects the NIC transport under test.
+type Transport uint8
+
+// Transports.
+const (
+	TransportIRN Transport = iota
+	TransportRoCE
+	TransportTCP // iWARP
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	switch t {
+	case TransportIRN:
+		return "IRN"
+	case TransportRoCE:
+		return "RoCE"
+	case TransportTCP:
+		return "iWARP/TCP"
+	default:
+		return "?"
+	}
+}
+
+// CCKind selects explicit congestion control.
+type CCKind uint8
+
+// Congestion-control kinds.
+const (
+	CCNone CCKind = iota
+	CCTimely
+	CCDCQCN
+	CCAIMD
+	CCDCTCP
+)
+
+// String implements fmt.Stringer.
+func (c CCKind) String() string {
+	switch c {
+	case CCNone:
+		return "none"
+	case CCTimely:
+		return "Timely"
+	case CCDCQCN:
+		return "DCQCN"
+	case CCAIMD:
+		return "AIMD"
+	case CCDCTCP:
+		return "DCTCP"
+	default:
+		return "?"
+	}
+}
+
+// WorkloadKind selects the flow-size distribution.
+type WorkloadKind uint8
+
+// Workload kinds.
+const (
+	WorkloadHeavyTailed WorkloadKind = iota // §4.1 default
+	WorkloadUniform                         // §4.4 storage (500KB-5MB)
+)
+
+// Scenario fully describes one simulation run. Zero values select the
+// paper's defaults (filled in by normalize).
+type Scenario struct {
+	Name string
+
+	// Fabric.
+	Arity       int          // fat-tree arity; default 6 (54 hosts)
+	Gbps        float64      // link rate; default 40
+	Prop        sim.Duration // per-link propagation; default 2 µs
+	BufferBytes int          // per-input-port buffer; default 2×BDP
+	PFC         bool
+	MTU         int // default 1000
+
+	// Transport and congestion control.
+	Transport Transport
+	CC        CCKind
+
+	// Workload.
+	Load     float64 // default 0.7
+	Workload WorkloadKind
+	NumFlows int // default 1000
+	Seed     uint64
+
+	// Incast mode (Figure 9): when IncastM > 0 the Poisson workload is
+	// replaced with IncastBytes striped over M senders; cross-traffic
+	// can be layered on top with NumFlows > 0 and Load > 0.
+	IncastM     int
+	IncastBytes int
+
+	// IRN knobs (§3, §4.3 ablations, §6.3 overheads).
+	Recovery       core.RecoveryMode
+	NoBDPFC        bool
+	RTOLow         sim.Duration // default 100 µs
+	RTOHigh        sim.Duration // default 320 µs
+	RTOLowN        int          // default 3
+	NackThreshold  int          // default 1
+	DynamicRTO     bool
+	BackoffOnLoss  bool // forced on for AIMD/DCTCP
+	RetxFetchDelay sim.Duration
+	ExtraHeader    int
+	// BDPCapScale multiplies the computed BDP cap (the §3.2 footnote:
+	// over-estimating the BDP must stay safe). Zero means 1.
+	BDPCapScale float64
+	// Spray enables per-packet multipathing (§7 reordering study).
+	Spray bool
+	// SharedBuffer pools switch buffers across input ports (§A.5 note).
+	SharedBuffer bool
+
+	// Grace is how long past the last flow arrival the simulation may
+	// run before unfinished flows are declared incomplete.
+	Grace sim.Duration
+}
+
+// normalize fills defaults.
+func (s Scenario) normalize() Scenario {
+	if s.Arity == 0 {
+		s.Arity = 6
+	}
+	if s.Gbps == 0 {
+		s.Gbps = 40
+	}
+	if s.Prop == 0 {
+		s.Prop = 2 * sim.Microsecond
+	}
+	if s.MTU == 0 {
+		s.MTU = 1000
+	}
+	if s.Load == 0 {
+		s.Load = 0.7
+	}
+	if s.NumFlows == 0 && s.IncastM == 0 {
+		s.NumFlows = 1000
+	}
+	if s.RTOLow == 0 {
+		s.RTOLow = 100 * sim.Microsecond
+	}
+	if s.RTOHigh == 0 {
+		s.RTOHigh = 320 * sim.Microsecond
+	}
+	if s.RTOLowN == 0 {
+		s.RTOLowN = 3
+	}
+	if s.NackThreshold == 0 {
+		s.NackThreshold = 1
+	}
+	if s.BDPCapScale == 0 {
+		s.BDPCapScale = 1
+	}
+	if s.Grace == 0 {
+		s.Grace = 500 * sim.Millisecond
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Name     string
+	Scenario Scenario
+	metrics.Summary
+	// SinglePktCDF is the Figure 8 tail series (90–99.9%ile).
+	SinglePktCDF []metrics.CDFPoint
+	// RCT is the incast request completion time (last flow finishes).
+	RCT sim.Duration
+	// Net carries fabric counters (drops, pauses, marks).
+	Net fabric.Stats
+	// Retransmits and Timeouts aggregate sender recovery activity.
+	Retransmits uint64
+	Timeouts    uint64
+	// Events is the number of simulator events executed.
+	Events uint64
+	// SimTime is the simulated time at which the run ended.
+	SimTime sim.Time
+}
+
+// senderStats abstracts per-transport counters.
+type senderStats interface {
+	retransmits() uint64
+	timeouts() uint64
+}
+
+type irnStats struct{ s *core.Sender }
+
+func (w irnStats) retransmits() uint64 { return w.s.Stats.Retransmits }
+func (w irnStats) timeouts() uint64    { return w.s.Stats.Timeouts }
+
+type roceStats struct {
+	s *rocev2.Sender
+	r *rocev2.Receiver
+}
+
+func (w roceStats) retransmits() uint64 { return w.s.Stats.Retransmits }
+func (w roceStats) timeouts() uint64    { return w.r.TimeoutNacks }
+
+type tcpStats struct{ s *tcpstack.Sender }
+
+func (w tcpStats) retransmits() uint64 { return w.s.Stats.Retransmits }
+func (w tcpStats) timeouts() uint64    { return w.s.Stats.Timeouts }
+
+// Run executes a scenario to completion (all flows finished or grace
+// period exhausted) and returns its metrics.
+func Run(s Scenario) Result {
+	s = s.normalize()
+	eng := sim.NewEngine()
+
+	rate := fabric.Gbps(s.Gbps)
+	top := topo.NewFatTree(s.Arity)
+	bdp := fabric.BDPBytes(rate, s.Prop, top.LongestPathHops())
+	linkBDP := fabric.BDPBytes(rate, s.Prop, 1)
+
+	// Headroom must absorb everything in flight when X-OFF takes hold:
+	// one link RTT of data (the paper's "upstream link's bandwidth-delay
+	// product") plus the packet serializing at the pause instant and the
+	// packet that may overshoot the threshold check.
+	wire := s.MTU + packet.DataHeader + s.ExtraHeader
+	cfg := fabric.Config{
+		Rate:          rate,
+		Prop:          s.Prop,
+		BufferBytes:   s.BufferBytes,
+		PFC:           s.PFC,
+		PFCHeadroom:   linkBDP + 3*wire,
+		PFCHysteresis: 2 * wire,
+		MTU:           s.MTU,
+		Seed:          s.Seed,
+		Spray:         s.Spray,
+		SharedBuffer:  s.SharedBuffer,
+	}
+	if cfg.BufferBytes == 0 {
+		cfg.BufferBytes = 2 * bdp
+	}
+	if cfg.PFCHeadroom >= cfg.BufferBytes {
+		// Tiny-buffer sweeps: keep a sane threshold at half the buffer.
+		cfg.PFCHeadroom = cfg.BufferBytes / 2
+	}
+	scale := s.Gbps / 40.0
+	switch s.CC {
+	case CCDCQCN:
+		cfg.ECN = fabric.ECNConfig{
+			Enabled: true,
+			KMin:    int(40_000 * scale),
+			KMax:    int(160_000 * scale),
+			PMax:    0.2,
+		}
+	case CCDCTCP:
+		k := int(80_000 * scale)
+		cfg.ECN = fabric.ECNConfig{Enabled: true, KMin: k, KMax: k + 1, PMax: 1.0}
+	}
+
+	net := fabric.New(eng, top, cfg)
+	bdpCap := int(float64(net.BDPCap()) * s.BDPCapScale)
+	if bdpCap < 1 {
+		bdpCap = 1
+	}
+
+	// Build the flow list.
+	var specs []workload.Spec
+	if s.IncastM > 0 {
+		specs = workload.Incast(top.Hosts(), s.IncastM, s.IncastBytes, s.Seed)
+	}
+	incastFlows := len(specs)
+	if s.NumFlows > 0 {
+		var dist workload.SizeDist
+		switch s.Workload {
+		case WorkloadUniform:
+			dist = workload.NewUniform()
+		default:
+			dist = workload.NewHeavyTailed()
+		}
+		specs = append(specs, workload.Generate(workload.PoissonConfig{
+			Hosts:         top.Hosts(),
+			Load:          s.Load,
+			RatePsPerByte: int64(rate),
+			MTU:           s.MTU,
+			HeaderBytes:   packet.DataHeader + s.ExtraHeader,
+			NumFlows:      s.NumFlows,
+			Dist:          dist,
+			Seed:          s.Seed,
+		})...)
+	}
+
+	var col metrics.Collector
+	flows := make([]*transport.Flow, len(specs))
+	stats := make([]senderStats, len(specs))
+	remaining := len(specs)
+	var lastArrival sim.Time
+	var incastDone sim.Time
+
+	minRTT := sim.Duration(2*top.LongestPathHops()) * (s.Prop + rate.Serialize(s.MTU+packet.DataHeader))
+
+	for i, spec := range specs {
+		spec := spec
+		idx := i
+		fl := &transport.Flow{
+			ID:    packet.FlowID(i + 1),
+			Src:   spec.Src,
+			Dst:   spec.Dst,
+			Size:  spec.Size,
+			Pkts:  transport.NumPackets(spec.Size, s.MTU),
+			Start: spec.Start,
+		}
+		flows[i] = fl
+		if spec.Start > lastArrival {
+			lastArrival = spec.Start
+		}
+		isIncast := i < incastFlows
+
+		onDone := func(now sim.Time) {
+			fct := now.Sub(spec.Start)
+			col.Add(metrics.FlowRecord{
+				Size:         spec.Size,
+				Pkts:         fl.Pkts,
+				FCT:          fct,
+				Ideal:        net.IdealFCT(spec.Src, spec.Dst, spec.Size),
+				SinglePacket: fl.Pkts == 1,
+			})
+			if isIncast && now > incastDone {
+				incastDone = now
+			}
+			remaining--
+			if remaining == 0 {
+				eng.Stop()
+			}
+		}
+
+		eng.Schedule(spec.Start, func() {
+			ctrl := buildCC(eng, s, bdpCap, minRTT)
+			switch s.Transport {
+			case TransportIRN:
+				p := core.Params{
+					MTU:              s.MTU,
+					BDPCap:           bdpCap,
+					Recovery:         s.Recovery,
+					RTOLow:           s.RTOLow,
+					RTOHigh:          s.RTOHigh,
+					RTOLowThreshold:  s.RTOLowN,
+					DynamicRTO:       s.DynamicRTO,
+					NackThreshold:    s.NackThreshold,
+					BackoffOnLoss:    s.BackoffOnLoss || s.CC == CCAIMD || s.CC == CCDCTCP,
+					RetxFetchDelay:   s.RetxFetchDelay,
+					ExtraHeaderBytes: s.ExtraHeader,
+					ECT:              s.CC == CCDCQCN || s.CC == CCDCTCP,
+				}
+				if s.NoBDPFC {
+					p.BDPCap = 0
+				}
+				snd := core.NewSender(net.NIC(spec.Src), fl, p, ctrl)
+				rcv := core.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
+				net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
+				net.NIC(spec.Src).AttachSource(snd)
+				stats[idx] = irnStats{snd}
+
+			case TransportRoCE:
+				p := rocev2.Params{
+					MTU:            s.MTU,
+					RTOHigh:        s.RTOHigh,
+					DisableTimeout: s.PFC,
+					PerPacketAck:   s.CC == CCTimely,
+					ECT:            s.CC == CCDCQCN,
+				}
+				snd := rocev2.NewSender(net.NIC(spec.Src), fl, p, ctrl)
+				rcv := rocev2.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
+				net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
+				net.NIC(spec.Src).AttachSource(snd)
+				stats[idx] = roceStats{snd, rcv}
+
+			case TransportTCP:
+				p := tcpstack.DefaultParams(s.MTU)
+				snd := tcpstack.NewSender(net.NIC(spec.Src), fl, p)
+				rcv := tcpstack.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
+				net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
+				net.NIC(spec.Src).AttachSource(snd)
+				stats[idx] = tcpStats{snd}
+			}
+		})
+	}
+
+	eng.RunUntil(lastArrival.Add(s.Grace))
+
+	res := Result{
+		Name:     s.Name,
+		Scenario: s,
+		RCT:      sim.Duration(incastDone),
+		Net:      net.Stats,
+		Events:   eng.Executed(),
+		SimTime:  eng.Now(),
+	}
+	for i, fl := range flows {
+		if !fl.Finished {
+			col.AddIncomplete()
+		}
+		if st := stats[i]; st != nil {
+			res.Retransmits += st.retransmits()
+			res.Timeouts += st.timeouts()
+		}
+	}
+	res.Summary = col.Summarize()
+	res.SinglePktCDF = col.SinglePacketTail([]float64{90, 95, 99, 99.9})
+	return res
+}
+
+// buildCC constructs the per-flow congestion controller.
+func buildCC(eng *sim.Engine, s Scenario, bdpCap int, minRTT sim.Duration) transport.Controller {
+	switch s.CC {
+	case CCTimely:
+		return cc.NewTimely(cc.DefaultTimelyConfig(s.Gbps, minRTT))
+	case CCDCQCN:
+		return cc.NewDCQCN(eng, cc.DefaultDCQCNConfig(s.Gbps))
+	case CCAIMD:
+		return cc.NewAIMD(bdpCap)
+	case CCDCTCP:
+		return cc.NewDCTCP(bdpCap)
+	default:
+		return nil
+	}
+}
+
+// String renders a result line in the paper's units.
+func (r Result) String() string {
+	return fmt.Sprintf("%-34s %s drops=%d pauses=%d retx=%d", r.Name, r.Summary, r.Net.Drops, r.Net.PauseFrames, r.Retransmits)
+}

@@ -1,0 +1,173 @@
+package fabric
+
+import (
+	"fmt"
+
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
+)
+
+// node is anything attached to links: a Switch or a NIC.
+type node interface {
+	receive(pkt *packet.Packet, from packet.NodeID)
+	pfcFrame(from packet.NodeID, pause bool)
+}
+
+// Network instantiates a topology into a running fabric on an engine.
+type Network struct {
+	Eng  *sim.Engine
+	Topo topo.Topology
+	Cfg  Config
+
+	nodes    []node // indexed by NodeID
+	nics     []*NIC // indexed by host NodeID
+	switches []*Switch
+	rng      *sim.RNG
+
+	Stats Stats
+}
+
+// New builds the fabric: one NIC per host, one Switch per switch node, and
+// two unidirectional ports per link.
+func New(eng *sim.Engine, t topo.Topology, cfg Config) *Network {
+	if cfg.MTU <= 0 {
+		panic("fabric: config MTU must be positive")
+	}
+	net := &Network{
+		Eng:  eng,
+		Topo: t,
+		Cfg:  cfg,
+		rng:  sim.NewRNG(cfg.Seed ^ 0xfab51c),
+	}
+
+	nodes := t.Nodes()
+	net.nodes = make([]node, len(nodes))
+	net.nics = make([]*NIC, t.Hosts())
+	for _, n := range nodes {
+		if n.Kind == topo.Host {
+			nic := newNIC(n.ID, net)
+			net.nodes[n.ID] = nic
+			net.nics[n.ID] = nic
+		} else {
+			sw := newSwitch(n.ID, net)
+			net.nodes[n.ID] = sw
+			net.switches = append(net.switches, sw)
+		}
+	}
+
+	// Wire both directions of every link.
+	for _, l := range t.Links() {
+		net.wire(l.A, l.B)
+		net.wire(l.B, l.A)
+	}
+	for _, sw := range net.switches {
+		sw.finalize()
+	}
+	return net
+}
+
+// wire creates the unidirectional port from → to.
+func (net *Network) wire(from, to packet.NodeID) {
+	dst := net.nodes[to]
+	deliver := func(pkt *packet.Packet) { dst.receive(pkt, from) }
+
+	switch n := net.nodes[from].(type) {
+	case *NIC:
+		n.egress = outPort{
+			eng:     net.Eng,
+			rate:    net.Cfg.Rate,
+			prop:    net.Cfg.Prop,
+			deliver: deliver,
+			source:  n.nextPacket,
+		}
+	case *Switch:
+		idx := n.addPort(to)
+		o := n.out[idx]
+		o.port = outPort{
+			eng:     net.Eng,
+			rate:    net.Cfg.Rate,
+			prop:    net.Cfg.Prop,
+			deliver: deliver,
+			source:  o.nextPacket,
+		}
+	default:
+		panic(fmt.Sprintf("fabric: unknown node type %T", n))
+	}
+}
+
+// NIC returns the NIC of host h.
+func (net *Network) NIC(h packet.NodeID) *NIC {
+	if int(h) >= len(net.nics) || net.nics[h] == nil {
+		panic(fmt.Sprintf("fabric: node %d is not a host", h))
+	}
+	return net.nics[h]
+}
+
+// sendPFC delivers a PFC frame from a switch to neighbor `to`. PFC frames
+// are link-local flow control below the packet queues: they are modelled
+// as arriving one propagation delay after generation, without competing
+// for queue space. The configured headroom absorbs the data still in
+// flight during that delay plus the packet being serialized.
+func (net *Network) sendPFC(from, to packet.NodeID, pause bool) {
+	target := net.nodes[to]
+	net.Eng.After(net.Cfg.Prop, func() { target.pfcFrame(from, pause) })
+}
+
+// markECN samples the RED marking decision for an egress backlog of
+// queued bytes.
+func (net *Network) markECN(queued int) bool {
+	e := &net.Cfg.ECN
+	if queued <= e.KMin {
+		return false
+	}
+	if queued >= e.KMax {
+		return true
+	}
+	p := e.PMax * float64(queued-e.KMin) / float64(e.KMax-e.KMin)
+	return net.rng.Float64() < p
+}
+
+// QueuedBytes reports total bytes buffered across all switches — a
+// diagnostic for congestion-spreading experiments.
+func (net *Network) QueuedBytes() int {
+	total := 0
+	for _, sw := range net.switches {
+		total += sw.queuedBytes()
+	}
+	return total
+}
+
+// BDPCap returns IRN's BDP-FC cap in packets for this fabric: the
+// longest-path BDP in bytes divided by the wire MTU (§3.2). For the
+// default 40 Gbps / 2 µs / 6-hop fabric with a 1000 B MTU this is ~113
+// packets, matching the paper's "∼110 MTU-sized packets".
+func (net *Network) BDPCap() int {
+	bdp := BDPBytes(net.Cfg.Rate, net.Cfg.Prop, net.Topo.LongestPathHops())
+	cap := bdp / (net.Cfg.MTU + packet.DataHeader)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// IdealFCT returns the empty-network completion time for a message of
+// size bytes between two hosts: full-message serialization at line rate,
+// plus per-hop store-and-forward of one MTU packet, plus path propagation.
+// Slowdown metrics divide measured FCTs by this (§4.1 Metrics).
+func (net *Network) IdealFCT(src, dst packet.NodeID, size int) sim.Duration {
+	hops := net.Topo.PathHops(src, dst)
+	pkts := (size + net.Cfg.MTU - 1) / net.Cfg.MTU
+	if pkts < 1 {
+		pkts = 1
+	}
+	wire := size + pkts*packet.DataHeader
+	last := net.Cfg.MTU + packet.DataHeader
+	if pkts == 1 {
+		last = wire
+	}
+	d := net.Cfg.Rate.Serialize(wire)                        // source serialization
+	d += sim.Duration(hops-1) * net.Cfg.Rate.Serialize(last) // store-and-forward of final packet
+	d += sim.Duration(hops) * net.Cfg.Prop                   // propagation
+	return d
+}

@@ -1,0 +1,183 @@
+package fabric
+
+import (
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/transport"
+)
+
+// NIC is a host network interface: a single egress port toward the host's
+// edge switch, shared by all of the host's queue pairs. Data sources are
+// arbitrated round-robin ("the sender QP... periodically polls the MAC
+// layer until the link is available", §4.1); transport control packets
+// (ACK/NACK/CNP) take strict priority since they are latency-critical and
+// tiny — their bandwidth is still consumed on the wire.
+//
+// Host ingress is modelled with infinite drain rate: arriving packets are
+// handed to the destination transport immediately, so hosts never assert
+// PFC toward the fabric. Hosts do obey PFC asserted by their switch.
+type NIC struct {
+	id  packet.NodeID
+	net *Network
+
+	egress outPort
+	ctrl   pktQueue
+
+	sources   []transport.Source
+	rr        int
+	srcByFlow map[packet.FlowID]transport.Source
+	sinks     map[packet.FlowID]transport.Sink
+
+	wake *sim.Timer
+
+	// Stray counts packets that arrived for an unknown flow (e.g. late
+	// duplicate ACKs after the source detached); they are dropped.
+	Stray uint64
+}
+
+func newNIC(id packet.NodeID, net *Network) *NIC {
+	n := &NIC{
+		id:        id,
+		net:       net,
+		srcByFlow: make(map[packet.FlowID]transport.Source),
+		sinks:     make(map[packet.FlowID]transport.Sink),
+	}
+	n.wake = sim.NewTimer(net.Eng, func() { n.egress.kick() })
+	return n
+}
+
+// ID returns the host node ID.
+func (n *NIC) ID() packet.NodeID { return n.id }
+
+// Now implements transport.Endpoint.
+func (n *NIC) Now() sim.Time { return n.net.Eng.Now() }
+
+// Engine implements transport.Endpoint.
+func (n *NIC) Engine() *sim.Engine { return n.net.Eng }
+
+// SendControl implements transport.Endpoint: queues a control packet with
+// strict priority on the egress port.
+func (n *NIC) SendControl(pkt *packet.Packet) {
+	pkt.Hash = uint32(mix64(uint64(pkt.Flow)))
+	n.ctrl.push(pkt)
+	n.egress.kick()
+}
+
+// Wake implements transport.Endpoint.
+func (n *NIC) Wake() { n.egress.kick() }
+
+// AttachSource registers a sender on this NIC and kicks the scheduler.
+func (n *NIC) AttachSource(s transport.Source) {
+	n.sources = append(n.sources, s)
+	n.srcByFlow[s.Flow().ID] = s
+	n.egress.kick()
+}
+
+// AttachSink registers a receiver for a flow.
+func (n *NIC) AttachSink(id packet.FlowID, s transport.Sink) {
+	n.sinks[id] = s
+}
+
+// DetachSink removes a receiver.
+func (n *NIC) DetachSink(id packet.FlowID) { delete(n.sinks, id) }
+
+// ActiveSources reports how many senders are attached (including ones
+// that finished but have not been reaped yet).
+func (n *NIC) ActiveSources() int { return len(n.sources) }
+
+// nextPacket is the egress port's source callback.
+func (n *NIC) nextPacket() *packet.Packet {
+	if pkt := n.ctrl.pop(); pkt != nil {
+		return pkt
+	}
+	now := n.net.Eng.Now()
+	var earliest sim.Time
+	haveWake := false
+
+	cnt := len(n.sources)
+	for i := 0; i < cnt; i++ {
+		idx := (n.rr + i) % cnt
+		src := n.sources[idx]
+		if src.Done() {
+			continue // reaped below
+		}
+		ready, at := src.HasData(now)
+		if ready {
+			n.rr = idx + 1
+			pkt := src.NextPacket(now)
+			if pkt == nil {
+				continue
+			}
+			pkt.Hash = uint32(mix64(uint64(pkt.Flow)))
+			n.reap()
+			return pkt
+		}
+		if at > now && (!haveWake || at < earliest) {
+			earliest, haveWake = at, true
+		}
+	}
+	n.reap()
+	if haveWake {
+		n.wake.ArmAt(earliest)
+	}
+	return nil
+}
+
+// reap removes completed sources. Called outside the arbitration scan.
+func (n *NIC) reap() {
+	keep := n.sources[:0]
+	removed := false
+	for _, s := range n.sources {
+		if s.Done() {
+			delete(n.srcByFlow, s.Flow().ID)
+			removed = true
+			continue
+		}
+		keep = append(keep, s)
+	}
+	if removed {
+		for i := len(keep); i < len(n.sources); i++ {
+			n.sources[i] = nil
+		}
+		n.sources = keep
+		if len(n.sources) > 0 {
+			n.rr %= len(n.sources)
+		} else {
+			n.rr = 0
+		}
+	}
+}
+
+// receive handles a packet arriving from the fabric.
+func (n *NIC) receive(pkt *packet.Packet, _ packet.NodeID) {
+	now := n.net.Eng.Now()
+	switch pkt.Type {
+	case packet.TypeData:
+		n.net.Stats.Delivered++
+		n.net.Stats.DataBytes += uint64(pkt.Wire)
+		if sink, ok := n.sinks[pkt.Flow]; ok {
+			sink.HandleData(pkt, now)
+		} else {
+			n.Stray++
+		}
+	case packet.TypeAck, packet.TypeNack, packet.TypeCNP:
+		n.net.Stats.CtrlDeliv++
+		if src, ok := n.srcByFlow[pkt.Flow]; ok {
+			src.HandleControl(pkt, now)
+		} else {
+			n.Stray++
+		}
+	default:
+		n.Stray++
+	}
+}
+
+// pfcFrame pauses or resumes the NIC egress (PFC asserted by the edge
+// switch).
+func (n *NIC) pfcFrame(_ packet.NodeID, pause bool) {
+	if pause {
+		n.egress.pause()
+	} else {
+		n.egress.resume()
+	}
+}

@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// outPort serializes packets onto one unidirectional link. Both switch
+// output ports and NIC egress ports are outPorts; they differ only in the
+// source callback that supplies the next packet.
+//
+// Timing model: a packet occupies the transmitter for Wire×rate
+// picoseconds (serialization), then arrives at the peer after the
+// propagation delay. Store-and-forward: the next hop sees the packet only
+// after its last byte arrives.
+type outPort struct {
+	eng  *sim.Engine
+	rate Rate
+	prop sim.Duration
+
+	// source supplies the next packet to transmit, or nil if none is
+	// ready. Called only when the port is idle and unpaused.
+	source func() *packet.Packet
+	// deliver hands a packet to the remote end; called at arrival time.
+	deliver func(*packet.Packet)
+
+	busy   bool
+	paused bool // PFC X-OFF received from downstream
+}
+
+// kick starts a transmission if the port is idle, unpaused, and a packet
+// is available. It reschedules itself after each completed serialization,
+// so one kick keeps the port busy as long as the source has packets.
+func (o *outPort) kick() {
+	if o.busy || o.paused {
+		return
+	}
+	pkt := o.source()
+	if pkt == nil {
+		return
+	}
+	o.busy = true
+	ser := o.rate.Serialize(pkt.Wire)
+	o.eng.After(ser, func() {
+		o.busy = false
+		// Arrival at the peer is one propagation delay after the last
+		// byte leaves.
+		o.eng.After(o.prop, func() { o.deliver(pkt) })
+		o.kick()
+	})
+}
+
+// pause handles a PFC X-OFF: the packet currently being serialized
+// completes (that in-flight data is what the headroom absorbs), then the
+// port stays silent until resume.
+func (o *outPort) pause() { o.paused = true }
+
+// resume handles a PFC X-ON.
+func (o *outPort) resume() {
+	if !o.paused {
+		return
+	}
+	o.paused = false
+	o.kick()
+}

@@ -1,0 +1,51 @@
+package fabric
+
+import "github.com/irnsim/irn/internal/packet"
+
+// pktQueue is a FIFO of packets with O(1) amortized push/pop and without
+// unbounded backing-array growth. Virtual output queues are long-lived and
+// churn millions of packets, so popping by re-slicing (which pins the
+// backing array) is not acceptable.
+type pktQueue struct {
+	buf   []*packet.Packet
+	head  int
+	bytes int
+}
+
+// push appends a packet.
+func (q *pktQueue) push(p *packet.Packet) {
+	q.buf = append(q.buf, p)
+	q.bytes += p.Wire
+}
+
+// pop removes and returns the packet at the head, or nil if empty.
+func (q *pktQueue) pop() *packet.Packet {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil // release for GC
+	q.head++
+	q.bytes -= p.Wire
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// peek returns the head packet without removing it.
+func (q *pktQueue) peek() *packet.Packet {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// len returns the number of queued packets.
+func (q *pktQueue) len() int { return len(q.buf) - q.head }
+
+// empty reports whether the queue holds no packets.
+func (q *pktQueue) empty() bool { return q.head >= len(q.buf) }

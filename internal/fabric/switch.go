@@ -1,0 +1,199 @@
+package fabric
+
+import (
+	"github.com/irnsim/irn/internal/packet"
+)
+
+// Switch is an input-queued switch with virtual output queues (one FIFO
+// per input at every output) scheduled round-robin, per-input-port buffer
+// accounting, optional PFC generation, and RED/ECN marking — the switch
+// model of §4.1.
+type Switch struct {
+	id  packet.NodeID
+	net *Network
+
+	neighbors []packet.NodeID       // port index → neighbor node
+	portOf    map[packet.NodeID]int // neighbor node → port index
+	in        []inState             // per input port
+	out       []*swOut              // per output port
+	routes    [][]int               // dst host → candidate output ports
+	salt      uint64                // per-switch ECMP salt
+	sprayCtr  uint64                // per-packet path counter (Spray mode)
+	shared    int                   // shared-buffer occupancy (SharedBuffer mode)
+}
+
+type inState struct {
+	bytes  int  // buffered bytes received on this port, across all VOQs
+	paused bool // X-OFF currently asserted upstream
+}
+
+type swOut struct {
+	sw     *Switch
+	port   outPort
+	voq    []pktQueue // per input port
+	rr     int
+	queued int // total bytes queued at this output (for ECN marking)
+}
+
+// newSwitch wires a switch shell; ports are attached by the Network.
+func newSwitch(id packet.NodeID, net *Network) *Switch {
+	return &Switch{
+		id:     id,
+		net:    net,
+		portOf: make(map[packet.NodeID]int),
+		salt:   mix64(uint64(id) + 0x5151_7eb5_c0de),
+	}
+}
+
+// addPort registers a neighbor and returns the new port index.
+func (s *Switch) addPort(neighbor packet.NodeID) int {
+	idx := len(s.neighbors)
+	s.neighbors = append(s.neighbors, neighbor)
+	s.portOf[neighbor] = idx
+	s.in = append(s.in, inState{})
+	o := &swOut{sw: s}
+	s.out = append(s.out, o)
+	return idx
+}
+
+// finalize sizes the VOQ matrices and routing table once all ports exist.
+func (s *Switch) finalize() {
+	n := len(s.neighbors)
+	for _, o := range s.out {
+		o.voq = make([]pktQueue, n)
+	}
+	hosts := s.net.Topo.Hosts()
+	s.routes = make([][]int, hosts)
+	for dst := 0; dst < hosts; dst++ {
+		hops := s.net.Topo.NextHops(s.id, packet.NodeID(dst))
+		ports := make([]int, len(hops))
+		for i, h := range hops {
+			ports[i] = s.portOf[h]
+		}
+		s.routes[dst] = ports
+	}
+}
+
+// receive handles a packet arriving on the link from neighbor `from`.
+func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
+	inIdx := s.portOf[from]
+	cfg := &s.net.Cfg
+
+	// Injected losses (tests, failure-injection experiments).
+	if cfg.LossInject != nil && cfg.LossInject(pkt) {
+		s.net.Stats.Drops++
+		return
+	}
+
+	// Drop-tail on a full buffer. With PFC configured correctly this
+	// should not trigger; without PFC it is the loss the transports
+	// must recover from. In shared-buffer mode the pool spans all input
+	// ports (total = ports × BufferBytes).
+	if cfg.SharedBuffer {
+		if s.shared+pkt.Wire > cfg.BufferBytes*len(s.in) {
+			s.net.Stats.Drops++
+			return
+		}
+	} else if s.in[inIdx].bytes+pkt.Wire > cfg.BufferBytes {
+		s.net.Stats.Drops++
+		return
+	}
+
+	outIdx := s.pickOutput(pkt)
+	o := s.out[outIdx]
+
+	// RED/ECN marking against this output's backlog.
+	if cfg.ECN.Enabled && pkt.ECT && !pkt.CE && s.net.markECN(o.queued) {
+		pkt.CE = true
+		s.net.Stats.ECNMarked++
+	}
+
+	o.voq[inIdx].push(pkt)
+	o.queued += pkt.Wire
+	s.in[inIdx].bytes += pkt.Wire
+	s.shared += pkt.Wire
+
+	// PFC: assert X-OFF upstream when this input crosses the threshold.
+	if cfg.PFC && !s.in[inIdx].paused && s.in[inIdx].bytes > cfg.PFCThreshold() {
+		s.in[inIdx].paused = true
+		s.net.Stats.PauseFrames++
+		s.net.sendPFC(s.id, from, true)
+	}
+
+	o.port.kick()
+}
+
+// pickOutput chooses the output port for pkt: flow-hash ECMP by default,
+// or an independent per-packet choice in spray mode.
+func (s *Switch) pickOutput(pkt *packet.Packet) int {
+	ports := s.routes[pkt.Dst]
+	if len(ports) == 1 {
+		return ports[0]
+	}
+	h := uint64(pkt.Hash)
+	if s.net.Cfg.Spray {
+		s.sprayCtr++
+		h ^= s.sprayCtr * 0x9e3779b97f4a7c15
+	}
+	return ports[mix64(h^s.salt)%uint64(len(ports))]
+}
+
+// nextPacket is the output port's source callback: round-robin over the
+// input VOQs feeding this output.
+func (o *swOut) nextPacket() *packet.Packet {
+	n := len(o.voq)
+	for i := 0; i < n; i++ {
+		idx := (o.rr + i) % n
+		if pkt := o.voq[idx].pop(); pkt != nil {
+			o.rr = idx + 1
+			o.queued -= pkt.Wire
+			o.sw.dequeued(idx, pkt)
+			return pkt
+		}
+	}
+	return nil
+}
+
+// dequeued updates input accounting after a packet leaves input inIdx's
+// buffer, releasing PFC if the buffer drained far enough.
+func (s *Switch) dequeued(inIdx int, pkt *packet.Packet) {
+	s.in[inIdx].bytes -= pkt.Wire
+	s.shared -= pkt.Wire
+	cfg := &s.net.Cfg
+	if cfg.PFC && s.in[inIdx].paused &&
+		s.in[inIdx].bytes <= cfg.PFCThreshold()-cfg.PFCHysteresis {
+		s.in[inIdx].paused = false
+		s.net.Stats.ResumeFrames++
+		s.net.sendPFC(s.id, s.neighbors[inIdx], false)
+	}
+}
+
+// pfcFrame handles an X-OFF/X-ON received from a downstream neighbor: it
+// pauses or resumes this switch's output port facing that neighbor.
+func (s *Switch) pfcFrame(from packet.NodeID, pause bool) {
+	o := s.out[s.portOf[from]]
+	if pause {
+		o.port.pause()
+	} else {
+		o.port.resume()
+	}
+}
+
+// queuedBytes reports the total bytes buffered at the switch (all inputs).
+func (s *Switch) queuedBytes() int {
+	total := 0
+	for i := range s.in {
+		total += s.in[i].bytes
+	}
+	return total
+}
+
+// mix64 is splitmix64's finalizer, used for ECMP hashing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,357 @@
+package hwmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/irnsim/irn/internal/sim"
+)
+
+func TestBitmap128Basics(t *testing.T) {
+	var b Bitmap128
+	if b.FirstZero() != 0 {
+		t.Fatalf("FirstZero of empty = %d", b.FirstZero())
+	}
+	b.Set(0)
+	b.Set(1)
+	b.Set(3)
+	if b.FirstZero() != 2 {
+		t.Errorf("FirstZero = %d, want 2", b.FirstZero())
+	}
+	if b.PopcountPrefix(4) != 3 {
+		t.Errorf("PopcountPrefix(4) = %d, want 3", b.PopcountPrefix(4))
+	}
+	if b.PopcountPrefix(2) != 2 {
+		t.Errorf("PopcountPrefix(2) = %d", b.PopcountPrefix(2))
+	}
+	b.Shift(2)
+	if b.Get(0) {
+		t.Error("offset 0 should be clear after shift (was bit 2)")
+	}
+	if !b.Get(1) {
+		t.Error("offset 1 should be set after shift (was bit 3)")
+	}
+	if b.Count() != 1 {
+		t.Errorf("Count = %d", b.Count())
+	}
+}
+
+func TestBitmap128FullWindow(t *testing.T) {
+	var b Bitmap128
+	for i := uint32(0); i < Bits; i++ {
+		b.Set(i)
+	}
+	if b.FirstZero() != Bits {
+		t.Errorf("FirstZero of full = %d, want %d", b.FirstZero(), Bits)
+	}
+	if b.PopcountPrefix(Bits) != Bits {
+		t.Errorf("PopcountPrefix full = %d", b.PopcountPrefix(Bits))
+	}
+	b.Shift(Bits)
+	if b.Count() != 0 {
+		t.Error("full shift must clear everything")
+	}
+}
+
+func TestBitmap128RingWrap(t *testing.T) {
+	var b Bitmap128
+	// Walk the head through several wraps with a fixed pattern.
+	for round := 0; round < 20; round++ {
+		b.Set(1)
+		b.Set(37)
+		if b.FirstZero() != 0 {
+			t.Fatalf("round %d: FirstZero = %d", round, b.FirstZero())
+		}
+		b.Set(0)
+		if b.FirstZero() != 2 {
+			t.Fatalf("round %d: FirstZero = %d, want 2", round, b.FirstZero())
+		}
+		if b.PopcountPrefix(38) != 3 {
+			t.Fatalf("round %d: popcount = %d", round, b.PopcountPrefix(38))
+		}
+		b.Shift(38) // drops bits 0,1,37
+		if b.Count() != 0 {
+			t.Fatalf("round %d: residue %d", round, b.Count())
+		}
+	}
+}
+
+func TestBitmap128MatchesReferenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		var b Bitmap128
+		ref := map[uint32]bool{} // absolute positions
+		base := uint32(0)
+		for step := 0; step < 500; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				off := uint32(rng.Intn(Bits))
+				b.Set(off)
+				ref[base+off] = true
+			case 1:
+				n := uint32(rng.Intn(10))
+				b.Shift(n)
+				for i := uint32(0); i < n; i++ {
+					delete(ref, base+i)
+				}
+				base += n
+			case 2:
+				// FirstZero cross-check.
+				want := uint32(0)
+				for ref[base+want] && want < Bits {
+					want++
+				}
+				if got := b.FirstZero(); got != want {
+					t.Fatalf("FirstZero = %d, want %d", got, want)
+				}
+				// PopcountPrefix cross-check.
+				n := uint32(rng.Intn(Bits + 1))
+				cnt := uint32(0)
+				for i := uint32(0); i < n; i++ {
+					if ref[base+i] {
+						cnt++
+					}
+				}
+				if got := b.PopcountPrefix(n); got != cnt {
+					t.Fatalf("PopcountPrefix(%d) = %d, want %d", n, got, cnt)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReceiveDataInOrder(t *testing.T) {
+	ctx := &QPContext{Expected: 100}
+	out := ReceiveData(ctx, 100, false)
+	if !out.SendAck || out.SendNack || out.AckPSN != 101 {
+		t.Errorf("in-order: %+v", out)
+	}
+	if ctx.Expected != 101 {
+		t.Errorf("expected = %d", ctx.Expected)
+	}
+}
+
+func TestReceiveDataOutOfOrderThenFill(t *testing.T) {
+	ctx := &QPContext{Expected: 0}
+	// Arrivals 2, 3(last-of-msg), then 1, then 0.
+	out := ReceiveData(ctx, 2, false)
+	if !out.SendNack || out.AckPSN != 0 || out.NackSack != 2 {
+		t.Fatalf("OOO: %+v", out)
+	}
+	ReceiveData(ctx, 3, true)
+	ReceiveData(ctx, 1, false)
+	out = ReceiveData(ctx, 0, true) // message A = [0], message B = [1..3]
+	if !out.SendAck || out.AckPSN != 4 {
+		t.Fatalf("fill: %+v", out)
+	}
+	if out.MSNInc != 2 || out.ExpireWQEs != 2 {
+		t.Errorf("MSNInc = %d, ExpireWQEs = %d, want 2/2", out.MSNInc, out.ExpireWQEs)
+	}
+	if ctx.MSN != 2 {
+		t.Errorf("MSN = %d", ctx.MSN)
+	}
+}
+
+func TestReceiveDataDuplicateAndOverflow(t *testing.T) {
+	ctx := &QPContext{Expected: 10}
+	out := ReceiveData(ctx, 5, false)
+	if !out.Duplicate || !out.SendAck {
+		t.Errorf("below window: %+v", out)
+	}
+	out = ReceiveData(ctx, 10+Bits, false)
+	if !out.SendNack {
+		t.Errorf("beyond window must NACK: %+v", out)
+	}
+}
+
+func TestTxFreeNewAndRecovery(t *testing.T) {
+	ctx := &QPContext{}
+	out := TxFree(ctx, 100, 8)
+	if !out.HasPacket || out.PSN != 0 || out.Retransmit {
+		t.Fatalf("first tx: %+v", out)
+	}
+	for i := 0; i < 7; i++ {
+		TxFree(ctx, 100, 8)
+	}
+	// Window (8) exhausted.
+	if out := TxFree(ctx, 100, 8); out.HasPacket {
+		t.Fatalf("window must be closed: %+v", out)
+	}
+	// NACK for hole at 0, sacks 1 and 3.
+	ReceiveAck(ctx, 0, true, 1)
+	ReceiveAck(ctx, 0, true, 3)
+	out = TxFree(ctx, 100, 8)
+	if !out.Retransmit || out.PSN != 0 {
+		t.Fatalf("first retx: %+v", out)
+	}
+	out = TxFree(ctx, 100, 8)
+	if !out.Retransmit || out.PSN != 2 {
+		t.Fatalf("look-ahead retx: %+v (want PSN 2)", out)
+	}
+	// No more losses below HighSack: nothing (window still closed).
+	out = TxFree(ctx, 100, 8)
+	if out.HasPacket {
+		t.Fatalf("no candidates: %+v", out)
+	}
+}
+
+func TestReceiveAckAdvancesAndExitsRecovery(t *testing.T) {
+	ctx := &QPContext{}
+	for i := 0; i < 10; i++ {
+		TxFree(ctx, 100, 0)
+	}
+	out := ReceiveAck(ctx, 0, true, 5)
+	if !out.EnteredRec || !ctx.InRecov || ctx.RecSeq != 9 {
+		t.Fatalf("recovery entry: %+v ctx=%+v", out, ctx)
+	}
+	out = ReceiveAck(ctx, 9, false, 0)
+	if out.ExitedRec || !ctx.InRecov {
+		t.Fatal("cum == RecSeq must stay in recovery")
+	}
+	out = ReceiveAck(ctx, 10, false, 0)
+	if !out.ExitedRec || ctx.InRecov {
+		t.Fatal("cum > RecSeq must exit recovery")
+	}
+	if out.NewlyAcked != 1 {
+		t.Errorf("newly = %d", out.NewlyAcked)
+	}
+}
+
+func TestTimeoutModule(t *testing.T) {
+	// RTOLow armed but many packets in flight → extend to RTOHigh.
+	ctx := &QPContext{RTOLowArm: true, RTOLowN: 3, InFlight: 10, NextSeq: 10}
+	out := Timeout(ctx)
+	if !out.Extend || out.Fire {
+		t.Fatalf("want extend: %+v", out)
+	}
+	// Few packets in flight → fire.
+	ctx2 := &QPContext{RTOLowArm: true, RTOLowN: 3, InFlight: 2, NextSeq: 2}
+	out = Timeout(ctx2)
+	if !out.Fire || !ctx2.InRecov {
+		t.Fatalf("want fire: %+v", out)
+	}
+	// Nothing outstanding → no action.
+	ctx3 := &QPContext{CumAck: 5, NextSeq: 5}
+	out = Timeout(ctx3)
+	if out.Fire || out.Extend {
+		t.Fatalf("want no-op: %+v", out)
+	}
+}
+
+func TestModulesEndToEndLossRecovery(t *testing.T) {
+	// Drive a sender context and a receiver context against each other
+	// with a lossy "wire", and verify the contexts converge.
+	snd := &QPContext{}
+	rcv := &QPContext{}
+	const total = 60
+	lost := map[uint32]bool{7: true, 23: true}
+	delivered := map[uint32]bool{}
+	for iter := 0; iter < 10*total; iter++ {
+		out := TxFree(snd, total, Bits)
+		if !out.HasPacket {
+			break
+		}
+		if lost[out.PSN] && !out.Retransmit {
+			delete(lost, out.PSN)
+			continue
+		}
+		delivered[out.PSN] = true
+		r := ReceiveData(rcv, out.PSN, out.PSN == total-1)
+		if r.SendAck {
+			ReceiveAck(snd, r.AckPSN, false, 0)
+		}
+		if r.SendNack {
+			ReceiveAck(snd, r.AckPSN, true, r.NackSack)
+		}
+	}
+	if rcv.Expected != total {
+		t.Fatalf("receiver expected = %d, want %d", rcv.Expected, total)
+	}
+	if snd.CumAck != total {
+		t.Fatalf("sender cum = %d, want %d", snd.CumAck, total)
+	}
+	if len(delivered) != total {
+		t.Errorf("delivered %d distinct packets", len(delivered))
+	}
+}
+
+func TestStateCostMatchesPaper(t *testing.T) {
+	c := PaperStateCost()
+	// §6.1: 160 bits of per-QP scalar state, 640 bits of bitmaps.
+	if c.PerQPStateBits != 160 {
+		t.Errorf("PerQPStateBits = %d", c.PerQPStateBits)
+	}
+	if c.PerQPBitmapBits != 640 {
+		t.Errorf("PerQPBitmapBits = %d", c.PerQPBitmapBits)
+	}
+	if c.PerQPBits() != 800 {
+		t.Errorf("PerQPBits = %d", c.PerQPBits())
+	}
+	// "a couple of thousands of QPs and tens of thousands of WQEs"
+	// against several MBs of cache → 3-10%.
+	lo := c.CacheFraction(2000, 20_000, 8<<20) // 8 MB cache
+	hi := c.CacheFraction(4000, 60_000, 4<<20) // 4 MB cache
+	if lo < 0.02 || lo > 0.11 {
+		t.Errorf("low-end cache fraction = %.3f, want ~3%%", lo)
+	}
+	if hi < 0.03 || hi > 0.15 {
+		t.Errorf("high-end cache fraction = %.3f, want ~10%%", hi)
+	}
+}
+
+func TestBitmap100G(t *testing.T) {
+	if Bitmap100GBits() != 320 {
+		t.Errorf("100G bitmap = %d bits, want 320", Bitmap100GBits())
+	}
+}
+
+// Benchmarks regenerate Table 2's throughput column in software: ns/op →
+// Mpps. The paper's FPGA numbers (receiveData 45.45 Mpps, txFree 47.17,
+// receiveAck 46.99, timeout 318.47) are hardware throughputs; the shape
+// to preserve is that every module sustains well beyond the NIC's packet
+// rate and that timeout is far cheaper than the bitmap modules.
+
+func BenchmarkReceiveData(b *testing.B) {
+	ctx := &QPContext{}
+	for i := 0; i < b.N; i++ {
+		psn := ctx.Expected
+		if i%7 == 3 {
+			psn += 2 // sprinkle out-of-order arrivals
+		}
+		ReceiveData(ctx, psn, i%4 == 0)
+	}
+}
+
+func BenchmarkTxFree(b *testing.B) {
+	ctx := &QPContext{}
+	for i := 0; i < b.N; i++ {
+		if out := TxFree(ctx, ^uint32(0), Bits); out.HasPacket {
+			// Ack immediately half the time to keep the window open.
+			if i%2 == 0 {
+				ReceiveAck(ctx, out.PSN+1, false, 0)
+			}
+		}
+	}
+}
+
+func BenchmarkReceiveAck(b *testing.B) {
+	ctx := &QPContext{NextSeq: 1 << 30}
+	cum := uint32(0)
+	for i := 0; i < b.N; i++ {
+		cum++
+		nack := i%16 == 7
+		ReceiveAck(ctx, cum, nack, cum+3)
+	}
+}
+
+func BenchmarkTimeout(b *testing.B) {
+	ctx := &QPContext{RTOLowArm: true, RTOLowN: 3, InFlight: 10, NextSeq: 10}
+	for i := 0; i < b.N; i++ {
+		ctx.RTOLowArm = true
+		Timeout(ctx)
+	}
+}

@@ -1,0 +1,213 @@
+package hwmodel
+
+// This file implements the four packet-processing modules of §6.2.1. Each
+// module is a pure function of (packet metadata, QP context) → (outputs,
+// updated QP context), matching the synthesis setup: "each module receives
+// the relevant packet metadata and the QP context as streamed inputs...
+// The updated QP context is passed as streamed output from the module."
+
+// QPContext is the per-QP state streamed into the modules: the §6.1
+// additional IRN state. Sequence numbers are ring offsets relative to the
+// bitmap heads (the hardware holds 24-bit PSNs; the offset form is what
+// the bitmap logic consumes).
+type QPContext struct {
+	// Responder-side.
+	Recv     Bitmap128 // received packets (half of the 2-bitmap)
+	LastPkt  Bitmap128 // message-boundary flags (other half)
+	Expected uint32    // expected PSN (absolute)
+	MSN      uint32    // message sequence number
+
+	// Requester-side.
+	SACK     Bitmap128 // selective acks over [CumAck, ...)
+	CumAck   uint32    // cumulative acknowledgement (absolute)
+	NextSeq  uint32    // next new sequence to transmit
+	RecSeq   uint32    // recovery sequence
+	HighSack uint32    // highest selectively-acked PSN + 1 (0 = none)
+	RetxNext uint32    // retransmission scan pointer
+	InRecov  bool
+
+	// Timeout state.
+	InFlight  uint32
+	RTOLowArm bool // armed with RTOLow (flag checked by the timeout module)
+	RTOLowN   uint32
+}
+
+// ReceiveDataOut is the receiveData module's output: what is needed "to
+// generate an ACK/NACK packet and the number of Receive WQEs to be
+// expired".
+type ReceiveDataOut struct {
+	SendAck    bool
+	SendNack   bool
+	AckPSN     uint32 // cumulative acknowledgement to send
+	NackSack   uint32 // PSN to carry as the selective ack
+	ExpireWQEs uint32 // receive WQEs consumed by this advance
+	MSNInc     uint32 // message sequence number increment
+	Duplicate  bool
+}
+
+// ReceiveData processes a data-packet arrival (§6.2.1 module 1). psn is
+// absolute; lastOfMsg flags a message boundary.
+func ReceiveData(ctx *QPContext, psn uint32, lastOfMsg bool) ReceiveDataOut {
+	var out ReceiveDataOut
+	off := psn - ctx.Expected
+	if int32(off) < 0 {
+		// Below the window: duplicate; re-ACK.
+		out.Duplicate = true
+		out.SendAck = true
+		out.AckPSN = ctx.Expected
+		return out
+	}
+	if off >= Bits {
+		// Beyond the tracking window (sender violated BDP-FC): NACK.
+		out.SendNack = true
+		out.AckPSN = ctx.Expected
+		out.NackSack = psn
+		return out
+	}
+	if ctx.Recv.get(off) {
+		out.Duplicate = true
+	}
+	ctx.Recv.set(off)
+	if lastOfMsg {
+		ctx.LastPkt.set(off)
+	}
+	if off == 0 {
+		// In-order: find-first-zero gives the new expected sequence;
+		// popcount over the advanced prefix gives the MSN increment and
+		// WQE expirations.
+		n := ctx.Recv.FirstZero()
+		out.MSNInc = ctx.LastPkt.PopcountPrefix(n)
+		out.ExpireWQEs = out.MSNInc
+		ctx.MSN += out.MSNInc
+		ctx.Recv.Shift(n)
+		ctx.LastPkt.Shift(n)
+		ctx.Expected += n
+		out.SendAck = true
+		out.AckPSN = ctx.Expected
+		return out
+	}
+	// Out of order: NACK with cumulative ack + triggering PSN.
+	out.SendNack = true
+	out.AckPSN = ctx.Expected
+	out.NackSack = psn
+	return out
+}
+
+// TxFreeOut is the txFree module's output: "the sequence number of the
+// packet to be (re-)transmitted".
+type TxFreeOut struct {
+	HasPacket  bool
+	PSN        uint32
+	Retransmit bool
+}
+
+// TxFree runs when the link frees up (§6.2.1 module 2): during loss
+// recovery it looks ahead in the SACK bitmap for the next sequence to
+// retransmit; otherwise it emits the next new sequence (subject to the
+// BDP-FC window supplied as wndCap).
+func TxFree(ctx *QPContext, totalPkts, wndCap uint32) TxFreeOut {
+	if ctx.InRecov {
+		if ctx.RetxNext <= ctx.CumAck && ctx.CumAck < totalPkts {
+			ctx.RetxNext = ctx.CumAck + 1
+			return TxFreeOut{HasPacket: true, PSN: ctx.CumAck, Retransmit: true}
+		}
+		if ctx.HighSack > 0 && ctx.RetxNext < ctx.HighSack {
+			// Look-ahead: first zero in the SACK bitmap at or after the
+			// scan pointer.
+			off := ctx.RetxNext - ctx.CumAck
+			for off < Bits {
+				if !ctx.SACK.get(off) {
+					break
+				}
+				off++
+			}
+			psn := ctx.CumAck + off
+			if psn < ctx.HighSack && psn < totalPkts {
+				ctx.RetxNext = psn + 1
+				return TxFreeOut{HasPacket: true, PSN: psn, Retransmit: true}
+			}
+		}
+	}
+	if ctx.NextSeq < totalPkts && (wndCap == 0 || ctx.NextSeq-ctx.CumAck < wndCap) {
+		psn := ctx.NextSeq
+		ctx.NextSeq++
+		ctx.InFlight = ctx.NextSeq - ctx.CumAck
+		return TxFreeOut{HasPacket: true, PSN: psn}
+	}
+	return TxFreeOut{}
+}
+
+// ReceiveAckOut is the receiveAck module's output.
+type ReceiveAckOut struct {
+	NewlyAcked uint32
+	EnteredRec bool
+	ExitedRec  bool
+}
+
+// ReceiveAck processes an ACK or NACK arrival (§6.2.1 module 3): advance
+// the cumulative point (bitmap head shift), record the selective ack, and
+// maintain recovery state.
+func ReceiveAck(ctx *QPContext, cum uint32, nack bool, sack uint32) ReceiveAckOut {
+	var out ReceiveAckOut
+	if cum > ctx.CumAck {
+		out.NewlyAcked = cum - ctx.CumAck
+		ctx.SACK.Shift(out.NewlyAcked)
+		ctx.CumAck = cum
+		if ctx.RetxNext < cum {
+			ctx.RetxNext = cum
+		}
+		if ctx.NextSeq < cum {
+			ctx.NextSeq = cum
+		}
+		if ctx.InRecov && cum > ctx.RecSeq {
+			ctx.InRecov = false
+			out.ExitedRec = true
+		}
+		ctx.InFlight = ctx.NextSeq - ctx.CumAck
+	}
+	if nack {
+		if off := sack - ctx.CumAck; int32(off) >= 0 && off < Bits {
+			ctx.SACK.set(off)
+			if sack+1 > ctx.HighSack {
+				ctx.HighSack = sack + 1
+			}
+		}
+		if !ctx.InRecov {
+			ctx.InRecov = true
+			out.EnteredRec = true
+			if ctx.NextSeq > 0 {
+				ctx.RecSeq = ctx.NextSeq - 1
+			}
+			ctx.RetxNext = ctx.CumAck
+		}
+	}
+	return out
+}
+
+// TimeoutOut is the timeout module's output.
+type TimeoutOut struct {
+	// Extend asks the NIC to extend the timer to RTOHigh instead of
+	// acting: the RTOLow condition did not hold (§6.2.1 module 4).
+	Extend bool
+	// Fire executes the timeout action (enter recovery, rescan).
+	Fire bool
+}
+
+// Timeout runs when the timer expires with the RTOLow value: "it checks
+// if the condition for using RTOLow holds. If not, it does not take any
+// action and sets an output flag to extend the timeout to RTOHigh."
+func Timeout(ctx *QPContext) TimeoutOut {
+	if ctx.RTOLowArm && ctx.InFlight >= ctx.RTOLowN {
+		ctx.RTOLowArm = false
+		return TimeoutOut{Extend: true}
+	}
+	if ctx.CumAck >= ctx.NextSeq {
+		return TimeoutOut{}
+	}
+	ctx.InRecov = true
+	if ctx.NextSeq > 0 {
+		ctx.RecSeq = ctx.NextSeq - 1
+	}
+	ctx.RetxNext = ctx.CumAck
+	return TimeoutOut{Fire: true}
+}

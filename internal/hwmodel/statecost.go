@@ -1,0 +1,57 @@
+package hwmodel
+
+// This file reproduces §6.1's NIC-memory accounting: "The additional
+// state that IRN introduces consumes a total of only 3-10% of the current
+// NIC cache for a couple of thousands of QPs and tens of thousands of
+// WQEs."
+
+// StateCost itemizes IRN's additional NIC state.
+type StateCost struct {
+	// PerQPStateBits is the per-QP scalar state: 24+24 bits (packet
+	// sequence to retransmit + recovery sequence) + 4 flag bits at each
+	// end = 104, plus 56 bits at the responder for the Read timeout
+	// timer and in-progress Read tracking = 160 bits.
+	PerQPStateBits int
+	// PerQPBitmapBits is the five BDP-sized bitmaps: the responder's
+	// 2-bitmap (2), the requester's Read-response bitmap (1), and one
+	// SACK bitmap at each end (2) — 5 × 128 = 640 bits.
+	PerQPBitmapBits int
+	// PerWQEBytes is the WQE-context growth: 3 bytes of sequence
+	// numbers on a 64-byte context.
+	PerWQEBytes int
+	// SharedBytes is state shared across QPs: the BDP cap, RTOLow and N
+	// — 10 bytes total.
+	SharedBytes int
+}
+
+// PaperStateCost returns the §6.1 numbers.
+func PaperStateCost() StateCost {
+	return StateCost{
+		PerQPStateBits:  160,
+		PerQPBitmapBits: 5 * Bits,
+		PerWQEBytes:     3,
+		SharedBytes:     10,
+	}
+}
+
+// PerQPBits returns the total additional bits per queue pair.
+func (c StateCost) PerQPBits() int { return c.PerQPStateBits + c.PerQPBitmapBits }
+
+// TotalBytes computes the additional NIC memory for a deployment of qps
+// queue pairs and wqes outstanding work-queue elements.
+func (c StateCost) TotalBytes(qps, wqes int) int {
+	bits := qps * c.PerQPBits()
+	return (bits+7)/8 + wqes*c.PerWQEBytes + c.SharedBytes
+}
+
+// CacheFraction returns the share of a NIC cache of cacheBytes consumed
+// by IRN state for the given deployment size. The paper's claim: 3-10%
+// for ~2K QPs and tens of thousands of WQEs against the several-MB caches
+// of current RoCE NICs.
+func (c StateCost) CacheFraction(qps, wqes, cacheBytes int) float64 {
+	return float64(c.TotalBytes(qps, wqes)) / float64(cacheBytes)
+}
+
+// Bitmap100GBits returns the bitmap width needed at 100 Gbps (2.5× the
+// 40 Gbps BDP), used by the §6.2.2 resource-scaling observation.
+func Bitmap100GBits() int { return Bits * 100 / 40 }

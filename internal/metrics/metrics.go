@@ -1,0 +1,167 @@
+// Package metrics collects and summarizes the paper's three performance
+// metrics (§4.1): average slowdown (FCT divided by the empty-network ideal
+// along the same path — dominated by latency-sensitive short flows),
+// average flow completion time, and 99th-percentile (tail) FCT — plus the
+// 90–99.9%ile single-packet-message latency CDF of Figure 8 and the incast
+// request completion time of Figure 9.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// FlowRecord captures one completed flow.
+type FlowRecord struct {
+	Size         int
+	Pkts         int
+	FCT          sim.Duration
+	Ideal        sim.Duration
+	Slowdown     float64
+	SinglePacket bool
+}
+
+// Collector accumulates flow records.
+type Collector struct {
+	records    []FlowRecord
+	incomplete int
+}
+
+// Add records a completed flow.
+func (c *Collector) Add(r FlowRecord) {
+	if r.Ideal > 0 && r.Slowdown == 0 {
+		r.Slowdown = float64(r.FCT) / float64(r.Ideal)
+	}
+	c.records = append(c.records, r)
+}
+
+// AddIncomplete counts a flow that failed to finish before the deadline.
+func (c *Collector) AddIncomplete() { c.incomplete++ }
+
+// Count returns the number of completed flows.
+func (c *Collector) Count() int { return len(c.records) }
+
+// Incomplete returns the number of unfinished flows.
+func (c *Collector) Incomplete() int { return c.incomplete }
+
+// Records exposes the raw records.
+func (c *Collector) Records() []FlowRecord { return c.records }
+
+// AvgSlowdown returns the mean slowdown.
+func (c *Collector) AvgSlowdown() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range c.records {
+		s += r.Slowdown
+	}
+	return s / float64(len(c.records))
+}
+
+// AvgFCT returns the mean flow completion time.
+func (c *Collector) AvgFCT() sim.Duration {
+	if len(c.records) == 0 {
+		return 0
+	}
+	var s int64
+	for _, r := range c.records {
+		s += int64(r.FCT)
+	}
+	return sim.Duration(s / int64(len(c.records)))
+}
+
+// TailFCT returns the 99th-percentile FCT.
+func (c *Collector) TailFCT() sim.Duration { return c.PercentileFCT(99) }
+
+// PercentileFCT returns the p-th percentile FCT (p in (0,100]).
+func (c *Collector) PercentileFCT(p float64) sim.Duration {
+	if len(c.records) == 0 {
+		return 0
+	}
+	fcts := make([]int64, len(c.records))
+	for i, r := range c.records {
+		fcts[i] = int64(r.FCT)
+	}
+	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	return sim.Duration(fcts[percentileIndex(len(fcts), p)])
+}
+
+// percentileIndex maps a percentile to a sorted-slice index (nearest-rank).
+func percentileIndex(n int, p float64) int {
+	idx := int(math.Ceil(p/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// SinglePacketTail returns the latency CDF points for single-packet
+// messages at the given percentiles — the Figure 8 series.
+func (c *Collector) SinglePacketTail(percentiles []float64) []CDFPoint {
+	var fcts []int64
+	for _, r := range c.records {
+		if r.SinglePacket {
+			fcts = append(fcts, int64(r.FCT))
+		}
+	}
+	if len(fcts) == 0 {
+		return nil
+	}
+	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	pts := make([]CDFPoint, 0, len(percentiles))
+	for _, p := range percentiles {
+		pts = append(pts, CDFPoint{
+			Percentile: p,
+			Latency:    sim.Duration(fcts[percentileIndex(len(fcts), p)]),
+		})
+	}
+	return pts
+}
+
+// CDFPoint is one point of a latency CDF.
+type CDFPoint struct {
+	Percentile float64
+	Latency    sim.Duration
+}
+
+// Summary bundles the three headline metrics.
+type Summary struct {
+	Flows       int
+	Incomplete  int
+	AvgSlowdown float64
+	AvgFCT      sim.Duration
+	TailFCT     sim.Duration
+}
+
+// Summarize computes the headline metrics.
+func (c *Collector) Summarize() Summary {
+	return Summary{
+		Flows:       c.Count(),
+		Incomplete:  c.Incomplete(),
+		AvgSlowdown: c.AvgSlowdown(),
+		AvgFCT:      c.AvgFCT(),
+		TailFCT:     c.TailFCT(),
+	}
+}
+
+// String renders the summary in the paper's reporting units.
+func (s Summary) String() string {
+	return fmt.Sprintf("flows=%d incomplete=%d avg_slowdown=%.2f avg_fct=%.4fms p99_fct=%.4fms",
+		s.Flows, s.Incomplete, s.AvgSlowdown, s.AvgFCT.Millis(), s.TailFCT.Millis())
+}
+
+// Ratio returns a/b guarding against division by zero; used for the
+// appendix tables' IRN/(IRN+PFC) and IRN/(RoCE+PFC) rows.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}

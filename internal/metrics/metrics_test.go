@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/irnsim/irn/internal/sim"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	var c Collector
+	if c.AvgSlowdown() != 0 || c.AvgFCT() != 0 || c.TailFCT() != 0 {
+		t.Error("empty collector must report zeros")
+	}
+	c.Add(FlowRecord{Size: 1000, FCT: 200, Ideal: 100})
+	c.Add(FlowRecord{Size: 1000, FCT: 300, Ideal: 100})
+	if c.Count() != 2 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	if got := c.AvgSlowdown(); got != 2.5 {
+		t.Errorf("avg slowdown = %v, want 2.5", got)
+	}
+	if got := c.AvgFCT(); got != 250 {
+		t.Errorf("avg fct = %v, want 250", got)
+	}
+}
+
+func TestSlowdownPrecomputedWins(t *testing.T) {
+	var c Collector
+	c.Add(FlowRecord{FCT: 500, Ideal: 100, Slowdown: 7})
+	if c.AvgSlowdown() != 7 {
+		t.Error("explicit slowdown must not be recomputed")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var c Collector
+	for i := 1; i <= 100; i++ {
+		c.Add(FlowRecord{FCT: sim.Duration(i), Ideal: 1})
+	}
+	if got := c.PercentileFCT(99); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := c.PercentileFCT(50); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := c.PercentileFCT(100); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+	if got := c.TailFCT(); got != 99 {
+		t.Errorf("tail = %v", got)
+	}
+}
+
+func TestSinglePacketTail(t *testing.T) {
+	var c Collector
+	for i := 1; i <= 1000; i++ {
+		c.Add(FlowRecord{FCT: sim.Duration(i), Ideal: 1, SinglePacket: i%2 == 0})
+	}
+	pts := c.SinglePacketTail([]float64{90, 99, 99.9})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Percentile != 90 || pts[0].Latency < 850 || pts[0].Latency > 950 {
+		t.Errorf("p90 = %+v", pts[0])
+	}
+	if pts[2].Latency < pts[1].Latency || pts[1].Latency < pts[0].Latency {
+		t.Error("CDF must be monotone")
+	}
+	// No single-packet records → nil.
+	var empty Collector
+	empty.Add(FlowRecord{FCT: 5, Ideal: 1})
+	if empty.SinglePacketTail([]float64{99}) != nil {
+		t.Error("want nil with no single-packet flows")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var c Collector
+	c.Add(FlowRecord{FCT: sim.Duration(2 * sim.Millisecond), Ideal: sim.Duration(1 * sim.Millisecond)})
+	c.AddIncomplete()
+	s := c.Summarize()
+	if s.Flows != 1 || s.Incomplete != 1 {
+		t.Errorf("summary %+v", s)
+	}
+	str := s.String()
+	for _, want := range []string{"avg_slowdown=2.00", "incomplete=1", "avg_fct=2.0000ms"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("summary %q missing %q", str, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != 0.5 {
+		t.Error("ratio broken")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Error("ratio by zero must be NaN")
+	}
+}

@@ -1,0 +1,209 @@
+// Package packet defines the simulation's wire model: data packets,
+// acknowledgements (cumulative ACKs and IRN NACK/SACKs), DCQCN congestion
+// notification packets, and PFC pause/resume frames, together with the
+// RoCEv2/IRN header layouts (BTH, RETH, AETH and the IRN extensions) and
+// their binary encodings.
+//
+// The event-driven fabric passes *Packet values around without
+// serialization for speed; the verbs layer and the hardware model encode
+// and decode the real byte layouts to validate header arithmetic.
+package packet
+
+import (
+	"fmt"
+
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// NodeID identifies a host or switch in the topology.
+type NodeID int32
+
+// FlowID uniquely identifies a flow (one message transfer between a
+// source/destination queue pair).
+type FlowID uint64
+
+// PSN is a 24-bit packet sequence number as used by the RoCE transport.
+// We keep it in a uint32 and mask to 24 bits only at the wire-encoding
+// boundary; inside the simulator sequence numbers are monotonically
+// increasing so window arithmetic never wraps.
+type PSN = uint32
+
+// Type discriminates simulation packets.
+type Type uint8
+
+// Packet types.
+const (
+	TypeData   Type = iota // transport payload segment
+	TypeAck                // cumulative acknowledgement
+	TypeNack               // IRN NACK (cumulative + SACK) or RoCE NACK (expected PSN)
+	TypeCNP                // DCQCN congestion notification packet
+	TypePause              // PFC X-OFF frame (link-local)
+	TypeResume             // PFC X-ON frame (link-local)
+)
+
+// String implements fmt.Stringer for packet types.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeAck:
+		return "ACK"
+	case TypeNack:
+		return "NACK"
+	case TypeCNP:
+		return "CNP"
+	case TypePause:
+		return "PAUSE"
+	case TypeResume:
+		return "RESUME"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Wire sizes in bytes. A RoCEv2 data packet carries Ethernet (18 including
+// FCS), IPv4 (20), UDP (8), BTH (12) and ICRC (4) around the payload.
+// Control packets occupy a minimum Ethernet frame.
+const (
+	EthOverhead  = 18
+	IPv4Header   = 20
+	UDPHeader    = 8
+	BTHSize      = 12
+	ICRCSize     = 4
+	RETHSize     = 16 // remote memory address (8) + rkey (4) + length (4)
+	AETHSize     = 4
+	IRNExtSize   = 6  // recv_WQE_SN (3) + relative offset (3), §5.3.2
+	ControlFrame = 64 // ACK/NACK/CNP/PFC minimum frame on the wire
+
+	// DataHeader is the per-packet overhead of a standard RoCEv2 data
+	// packet without IRN extensions.
+	DataHeader = EthOverhead + IPv4Header + UDPHeader + BTHSize + ICRCSize
+
+	// DefaultMTU is the RDMA payload MTU the paper assumes (1KB).
+	DefaultMTU = 1000
+)
+
+// Packet is a unit of transmission in the fabric. One struct covers all
+// packet types; unused fields are zero. Packets are allocated per
+// transmission and never mutated after send, except for the CE (ECN
+// congestion-experienced) bit which switches set in flight.
+type Packet struct {
+	Type Type
+	Flow FlowID
+	Src  NodeID // originating host
+	Dst  NodeID // destination host
+
+	// PSN is the packet sequence number for data packets, or for ACK
+	// family packets the PSN being (n)acked (see CumAck/SackPSN).
+	PSN PSN
+
+	// Payload is the number of payload bytes carried (data packets).
+	Payload int
+	// Wire is the total size on the wire in bytes, including all
+	// headers; this is what consumes link capacity and buffer space.
+	Wire int
+
+	// Last marks the final packet of a message.
+	Last bool
+
+	// CumAck is the receiver's expected sequence number (cumulative
+	// acknowledgement) carried by ACK and NACK packets.
+	CumAck PSN
+	// SackPSN is the out-of-order PSN that triggered an IRN NACK
+	// (the simplified selective acknowledgement of §3.1).
+	SackPSN PSN
+
+	// ECN bits: ECT is set by senders whose congestion control
+	// understands marking; CE is set by a switch when the packet
+	// experienced congestion. The receiver echoes CE via CNPs (DCQCN)
+	// or the ECE flag on ACKs (DCTCP).
+	ECT bool
+	CE  bool
+	// ECNEcho is set on ACK packets to echo a CE-marked data packet
+	// back to the sender (window-based ECN schemes).
+	ECNEcho bool
+
+	// SentAt is the transmission timestamp echoed back in ACKs so the
+	// sender can compute RTTs (Timely, dynamic RTO).
+	SentAt sim.Time
+	// AckedSentAt echoes the SentAt of the packet being acknowledged.
+	AckedSentAt sim.Time
+
+	// Hash is the ECMP flow hash, computed once at the source NIC.
+	Hash uint32
+
+	// PauseClass is reserved for PFC frames; this model pauses the
+	// whole link (a single priority class), as does the paper.
+	PauseClass uint8
+}
+
+// IsControl reports whether the packet is a transport control packet
+// (ACK/NACK/CNP). PFC frames are link-local and never routed.
+func (p *Packet) IsControl() bool {
+	return p.Type == TypeAck || p.Type == TypeNack || p.Type == TypeCNP
+}
+
+// String renders a compact human-readable description for debugging.
+func (p *Packet) String() string {
+	switch p.Type {
+	case TypeData:
+		last := ""
+		if p.Last {
+			last = " last"
+		}
+		return fmt.Sprintf("DATA flow=%d psn=%d payload=%d%s", p.Flow, p.PSN, p.Payload, last)
+	case TypeAck:
+		return fmt.Sprintf("ACK flow=%d cum=%d", p.Flow, p.CumAck)
+	case TypeNack:
+		return fmt.Sprintf("NACK flow=%d cum=%d sack=%d", p.Flow, p.CumAck, p.SackPSN)
+	case TypeCNP:
+		return fmt.Sprintf("CNP flow=%d", p.Flow)
+	default:
+		return p.Type.String()
+	}
+}
+
+// NewData builds a data packet with standard RoCEv2 overheads.
+func NewData(flow FlowID, src, dst NodeID, psn PSN, payload int, last bool) *Packet {
+	return &Packet{
+		Type:    TypeData,
+		Flow:    flow,
+		Src:     src,
+		Dst:     dst,
+		PSN:     psn,
+		Payload: payload,
+		Wire:    payload + DataHeader,
+		Last:    last,
+	}
+}
+
+// NewAck builds a cumulative ACK.
+func NewAck(flow FlowID, src, dst NodeID, cum PSN) *Packet {
+	return &Packet{
+		Type:   TypeAck,
+		Flow:   flow,
+		Src:    src,
+		Dst:    dst,
+		CumAck: cum,
+		Wire:   ControlFrame,
+	}
+}
+
+// NewNack builds an IRN NACK carrying both the cumulative acknowledgement
+// and the PSN of the out-of-order arrival that triggered it.
+func NewNack(flow FlowID, src, dst NodeID, cum, sack PSN) *Packet {
+	return &Packet{
+		Type:    TypeNack,
+		Flow:    flow,
+		Src:     src,
+		Dst:     dst,
+		CumAck:  cum,
+		SackPSN: sack,
+		Wire:    ControlFrame,
+	}
+}
+
+// NewCNP builds a DCQCN congestion notification packet.
+func NewCNP(flow FlowID, src, dst NodeID) *Packet {
+	return &Packet{Type: TypeCNP, Flow: flow, Src: src, Dst: dst, Wire: ControlFrame}
+}

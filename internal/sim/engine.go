@@ -1,0 +1,221 @@
+package sim
+
+// Event is a scheduled callback. Events with equal firing times run in
+// scheduling order (FIFO), which the sequence number enforces; this is what
+// makes runs reproducible regardless of heap internals.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than built on container/heap: the event queue is the simulator's
+// hottest structure, and avoiding the heap.Interface boxing and indirect
+// calls roughly halves scheduling cost.
+type eventHeap []event
+
+// less orders events by time, then FIFO.
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+// push appends and sifts up.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n].fn = nil // release closure for GC
+	q = q[:n]
+	*h = q
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+//
+// The zero value is not ready for use; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Stats.
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.queue = make(eventHeap, 0, 1024)
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are scheduled but not yet run.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past (before the
+// current clock) panics: it always indicates a model bug, and silently
+// reordering time corrupts results in ways that are very hard to debug.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	e.queue.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d after the current time.
+func (e *Engine) After(d Duration, fn func()) {
+	e.Schedule(e.now.Add(d), fn)
+}
+
+// Run executes events until the queue empties or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil executes events until the queue empties, Stop is called, or the
+// next event would fire after deadline. The clock is left at the time of
+// the last executed event (or deadline if it advanced past it).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			e.now = deadline
+			return
+		}
+		e.step()
+	}
+}
+
+func (e *Engine) step() {
+	ev := e.queue.pop()
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+}
+
+// Stop halts Run/RunUntil after the current event completes. Pending events
+// remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Timer is a cancellable, re-armable one-shot timer.
+//
+// Re-arming is lazy: at most one engine event is ever pending per timer.
+// Transports re-arm their retransmission timer on nearly every packet
+// (pushing the deadline later); scheduling a fresh event each time would
+// flood the heap with dead entries. Instead the pending event, when it
+// fires, checks the live deadline and reschedules itself if the deadline
+// moved. This keeps the event queue proportional to the number of timers,
+// not the number of arms.
+type Timer struct {
+	eng      *Engine
+	fn       func()
+	deadline Time
+	armed    bool
+	pending  bool   // an engine event is queued for this timer
+	pendAt   Time   // when that event fires
+	pendGen  uint64 // invalidates superseded events (re-arm to earlier)
+}
+
+// NewTimer creates a timer that invokes fn when it fires. The timer starts
+// unarmed.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Arm (re)schedules the timer to fire d from now, replacing any previous
+// schedule.
+func (t *Timer) Arm(d Duration) { t.ArmAt(t.eng.now.Add(d)) }
+
+// ArmAt (re)schedules the timer to fire at absolute time at.
+func (t *Timer) ArmAt(at Time) {
+	t.deadline = at
+	t.armed = true
+	if t.pending && t.pendAt <= at {
+		return // the queued event will notice the new deadline
+	}
+	t.scheduleAt(at)
+}
+
+// scheduleAt queues the pending engine event, superseding any earlier one.
+func (t *Timer) scheduleAt(at Time) {
+	t.pending = true
+	t.pendAt = at
+	t.pendGen++
+	gen := t.pendGen
+	t.eng.Schedule(at, func() { t.tick(gen) })
+}
+
+// tick is the queued engine event: fire, reschedule, or lapse.
+func (t *Timer) tick(gen uint64) {
+	if gen != t.pendGen {
+		return // superseded by a re-arm to an earlier deadline
+	}
+	t.pending = false
+	if !t.armed {
+		return
+	}
+	if t.deadline > t.eng.now {
+		t.scheduleAt(t.deadline)
+		return
+	}
+	t.armed = false
+	t.fn()
+}
+
+// Cancel disarms the timer. Safe to call when unarmed. The pending engine
+// event, if any, lapses harmlessly.
+func (t *Timer) Cancel() { t.armed = false }
+
+// Armed reports whether the timer is scheduled to fire.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Deadline returns the time the timer will fire; valid only when Armed.
+func (t *Timer) Deadline() Time { return t.deadline }

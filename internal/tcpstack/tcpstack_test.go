@@ -1,0 +1,232 @@
+package tcpstack
+
+import (
+	"testing"
+
+	"github.com/irnsim/irn/internal/fabric"
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
+	"github.com/irnsim/irn/internal/transport"
+)
+
+func runOverFabric(t *testing.T, p Params, pkts int,
+	lossFn func(*packet.Packet) bool) (*Sender, *Receiver, sim.Time) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := fabric.DefaultConfig()
+	cfg.LossInject = lossFn
+	net := fabric.New(eng, topo.NewStar(2), cfg)
+
+	flow := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: pkts * p.MTU, Pkts: pkts}
+	snd := NewSender(net.NIC(0), flow, p)
+	var doneAt sim.Time
+	rcv := NewReceiver(net.NIC(1), flow, p, func(now sim.Time) { doneAt = now })
+	net.NIC(1).AttachSink(flow.ID, rcv)
+	net.NIC(0).AttachSource(snd)
+
+	eng.RunUntil(sim.Time(1 * sim.Second))
+	return snd, rcv, doneAt
+}
+
+func TestSlowStartRampUp(t *testing.T) {
+	p := DefaultParams(1000)
+	snd, _, doneAt := runOverFabric(t, p, 500, nil)
+	if doneAt == 0 {
+		t.Fatal("did not complete")
+	}
+	if snd.Stats.Retransmits != 0 {
+		t.Errorf("retransmits = %d on lossless path", snd.Stats.Retransmits)
+	}
+	// Slow start must have grown the window well beyond IW.
+	if snd.Cwnd() < 50 {
+		t.Errorf("cwnd = %v after 500 acked segments", snd.Cwnd())
+	}
+}
+
+func TestSlowStartCostsTimeVersusLineRateStart(t *testing.T) {
+	// The §4.6 effect: TCP pays slow-start round trips a line-rate
+	// starting transport does not. A 100-packet transfer takes several
+	// RTTs with IW=4.
+	p := DefaultParams(1000)
+	_, _, doneAt := runOverFabric(t, p, 100, nil)
+	if doneAt == 0 {
+		t.Fatal("did not complete")
+	}
+	// One RTT is ~8.5 µs here; line-rate transfer of 100 packets is
+	// ~21 µs + RTT ≈ 26 µs. Slow start from IW=4 needs ~5 window
+	// doublings, pushing the FCT well past the line-rate bound.
+	minSlowStart := sim.Time(35 * sim.Microsecond)
+	if doneAt < minSlowStart {
+		t.Errorf("FCT %v too fast; slow start should cost several RTTs", sim.Duration(doneAt))
+	}
+}
+
+func TestFastRetransmitOnDupAcks(t *testing.T) {
+	p := DefaultParams(1000)
+	dropped := false
+	lossFn := func(pkt *packet.Packet) bool {
+		if pkt.Type == packet.TypeData && pkt.PSN == 50 && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	snd, _, doneAt := runOverFabric(t, p, 300, lossFn)
+	if doneAt == 0 {
+		t.Fatal("did not complete")
+	}
+	if snd.Stats.FastRetransmits == 0 {
+		t.Error("expected a fast retransmit")
+	}
+	if snd.Stats.Timeouts != 0 {
+		t.Errorf("timeouts = %d; dupacks should have repaired the loss", snd.Stats.Timeouts)
+	}
+	if snd.Stats.Retransmits > 5 {
+		t.Errorf("SACK recovery retransmitted %d segments for one loss", snd.Stats.Retransmits)
+	}
+}
+
+func TestTimeoutCollapsesToSlowStart(t *testing.T) {
+	p := DefaultParams(1000)
+	dropped := false
+	lossFn := func(pkt *packet.Packet) bool {
+		// Drop the tail: no dupacks possible.
+		if pkt.Type == packet.TypeData && pkt.Last && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	snd, _, doneAt := runOverFabric(t, p, 50, lossFn)
+	if doneAt == 0 {
+		t.Fatal("did not complete")
+	}
+	if snd.Stats.Timeouts == 0 {
+		t.Error("tail loss must recover via RTO")
+	}
+	// RTO is >= MinRTO (1 ms): the recovery is visible in the FCT.
+	if doneAt < sim.Time(p.MinRTO) {
+		t.Errorf("FCT %v below MinRTO", sim.Duration(doneAt))
+	}
+}
+
+func TestCwndHalvesOnFastRetransmit(t *testing.T) {
+	ep := &stubEP{eng: sim.NewEngine()}
+	p := DefaultParams(1000)
+	flow := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: 1000 * 1000, Pkts: 1000}
+	s := NewSender(ep, flow, p)
+	// Grow past slow start artificially.
+	s.cwnd = 64
+	s.ssthresh = 32
+	// Fill the window.
+	for {
+		ready, _ := s.HasData(0)
+		if !ready {
+			break
+		}
+		s.NextPacket(0)
+	}
+	// Three duplicate ACKs (cum stays 0) with SACKs.
+	for i := packet.PSN(1); i <= 3; i++ {
+		a := packet.NewAck(1, 1, 0, 0)
+		a.SackPSN = i
+		s.HandleControl(a, 100)
+	}
+	if !s.inRecovery {
+		t.Fatal("3 dupacks must enter fast recovery")
+	}
+	if s.Cwnd() > 33 {
+		t.Errorf("cwnd = %v after fast retransmit, want ~inflight/2", s.Cwnd())
+	}
+	// The retransmission must be segment 0.
+	pkt := s.NextPacket(200)
+	if pkt == nil || pkt.PSN != 0 {
+		t.Fatalf("fast retransmit = %v, want PSN 0", pkt)
+	}
+}
+
+type stubEP struct {
+	eng  *sim.Engine
+	sent []*packet.Packet
+}
+
+func (e *stubEP) Now() sim.Time                  { return e.eng.Now() }
+func (e *stubEP) Engine() *sim.Engine            { return e.eng }
+func (e *stubEP) SendControl(pkt *packet.Packet) { e.sent = append(e.sent, pkt) }
+func (e *stubEP) Wake()                          {}
+
+func TestRTOEstimator(t *testing.T) {
+	ep := &stubEP{eng: sim.NewEngine()}
+	p := DefaultParams(1000)
+	flow := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: 10000, Pkts: 10}
+	s := NewSender(ep, flow, p)
+	if s.rtoDuration() != p.InitialRTO {
+		t.Errorf("pre-sample RTO = %v, want InitialRTO", s.rtoDuration())
+	}
+	for i := 0; i < 20; i++ {
+		s.updateRTT(100 * sim.Microsecond)
+	}
+	// Stable RTT of 100 µs → RTO clamps at MinRTO (1 ms).
+	if s.rtoDuration() != p.MinRTO {
+		t.Errorf("RTO = %v, want MinRTO clamp", s.rtoDuration())
+	}
+	s.backoff = 3
+	if s.rtoDuration() != p.MinRTO<<3 {
+		t.Errorf("backoff RTO = %v, want %v", s.rtoDuration(), p.MinRTO<<3)
+	}
+}
+
+func TestReceiverSACKDupAcks(t *testing.T) {
+	ep := &stubEP{eng: sim.NewEngine()}
+	p := DefaultParams(1000)
+	flow := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: 10 * 1000, Pkts: 10}
+	r := NewReceiver(ep, flow, p, nil)
+	r.HandleData(packet.NewData(1, 0, 1, 0, 1000, false), 10)
+	r.HandleData(packet.NewData(1, 0, 1, 2, 1000, false), 20)
+	r.HandleData(packet.NewData(1, 0, 1, 3, 1000, false), 30)
+	if len(ep.sent) != 3 {
+		t.Fatalf("acks = %d", len(ep.sent))
+	}
+	if ep.sent[0].CumAck != 1 || ep.sent[0].SackPSN != 0 {
+		t.Errorf("in-order ack wrong: %+v", ep.sent[0])
+	}
+	if ep.sent[1].CumAck != 1 || ep.sent[1].SackPSN != 2 {
+		t.Errorf("dup ack 1 wrong: %+v", ep.sent[1])
+	}
+	if ep.sent[2].CumAck != 1 || ep.sent[2].SackPSN != 3 {
+		t.Errorf("dup ack 2 wrong: %+v", ep.sent[2])
+	}
+	// Filling the hole advances cumulatively.
+	r.HandleData(packet.NewData(1, 0, 1, 1, 1000, false), 40)
+	if got := ep.sent[3].CumAck; got != 4 {
+		t.Errorf("cum after fill = %d, want 4", got)
+	}
+}
+
+func TestHeavyRandomLossStillCompletes(t *testing.T) {
+	p := DefaultParams(1000)
+	rng := sim.NewRNG(5)
+	lossFn := func(pkt *packet.Packet) bool {
+		return pkt.Type == packet.TypeData && rng.Float64() < 0.03
+	}
+	snd, rcv, doneAt := runOverFabric(t, p, 800, lossFn)
+	if doneAt == 0 {
+		t.Fatalf("did not complete: recv %d/800 timeouts %d", rcv.Received(), snd.Stats.Timeouts)
+	}
+	if snd.Stats.Retransmits == 0 {
+		t.Error("expected retransmissions")
+	}
+}
+
+func TestMaxWindowBounds(t *testing.T) {
+	p := DefaultParams(1000)
+	p.MaxWindow = 8
+	snd, _, doneAt := runOverFabric(t, p, 200, nil)
+	if doneAt == 0 {
+		t.Fatal("did not complete")
+	}
+	if snd.Cwnd() > 8 {
+		t.Errorf("cwnd %v exceeded MaxWindow", snd.Cwnd())
+	}
+}

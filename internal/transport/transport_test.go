@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNumPackets(t *testing.T) {
+	cases := []struct{ size, mtu, want int }{
+		{0, 1000, 1}, // zero-length RDMA message still sends one packet
+		{1, 1000, 1},
+		{999, 1000, 1},
+		{1000, 1000, 1},
+		{1001, 1000, 2},
+		{3_000_000, 1000, 3000},
+		{32, 1000, 1},
+	}
+	for _, c := range cases {
+		if got := NumPackets(c.size, c.mtu); got != c.want {
+			t.Errorf("NumPackets(%d,%d) = %d, want %d", c.size, c.mtu, got, c.want)
+		}
+	}
+}
+
+func TestPayloadOf(t *testing.T) {
+	// 2500 bytes at MTU 1000: payloads 1000, 1000, 500.
+	if PayloadOf(2500, 1000, 0) != 1000 || PayloadOf(2500, 1000, 1) != 1000 || PayloadOf(2500, 1000, 2) != 500 {
+		t.Error("PayloadOf segmentation wrong")
+	}
+	if PayloadOf(0, 1000, 0) != 0 {
+		t.Error("zero-length message payload")
+	}
+	if PayloadOf(1000, 1000, 0) != 1000 {
+		t.Error("exact MTU")
+	}
+}
+
+func TestPayloadsSumToSizeProperty(t *testing.T) {
+	f := func(sz uint16, mtuSeed uint8) bool {
+		size := int(sz)
+		mtu := int(mtuSeed)%1400 + 64
+		n := NumPackets(size, mtu)
+		sum := 0
+		for i := 0; i < n; i++ {
+			p := PayloadOf(size, mtu, i)
+			if p < 0 || p > mtu {
+				return false
+			}
+			sum += p
+		}
+		if size <= 0 {
+			return sum == 0
+		}
+		return sum == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoneController(t *testing.T) {
+	var c Controller = None{}
+	c.OnAck(0, 0, 1, false)
+	c.OnCNP(0)
+	c.OnLoss(0)
+	if c.SendDelay(1000) != 0 {
+		t.Error("None must not pace")
+	}
+	if c.WindowPackets() != 0 {
+		t.Error("None must not impose a window")
+	}
+}

@@ -1,0 +1,498 @@
+package verbs
+
+import (
+	"fmt"
+
+	"github.com/irnsim/irn/internal/bitmap"
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// Config parameterizes a QP.
+type Config struct {
+	MTU      int
+	BDPCap   int          // request packets in flight (BDP-FC)
+	RTOLow   sim.Duration // short timeout (few packets in flight)
+	RTOHigh  sim.Duration
+	RTOLowN  int
+	RNRDelay sim.Duration // back-off after a receiver-not-ready NACK
+}
+
+// DefaultConfig returns sane defaults for tests and examples.
+func DefaultConfig() Config {
+	return Config{
+		MTU:      1000,
+		BDPCap:   110,
+		RTOLow:   100 * sim.Microsecond,
+		RTOHigh:  320 * sim.Microsecond,
+		RTOLowN:  3,
+		RNRDelay: 200 * sim.Microsecond,
+	}
+}
+
+// Request is a work request posted to a QP's send queue.
+type Request struct {
+	ID    uint64
+	Op    OpType
+	Data  []byte // payload for Write/Send
+	RKey  uint32 // remote region (Write/Read/Atomic)
+	VA    uint64 // remote offset
+	Local []byte // destination buffer for Read / atomic result landing
+	Imm   uint32 // immediate data (WriteImm, Send*)
+	// InvKey is the remote rkey revoked by SendInv.
+	InvKey uint32
+	// Fence delays this request until all prior requests completed
+	// (§5.3.4, Appendix B.5). SendInv is always fenced.
+	Fence bool
+	// Atomic operands.
+	Add, Cmp, Swap uint64
+}
+
+// reqWQE is an in-flight Request WQE at the requester.
+type reqWQE struct {
+	req      Request
+	msgIdx   uint32 // posted order
+	firstPSN uint32
+	pkts     int
+	// done tracks read/atomic data arrival.
+	dataRemaining int
+	expired       bool   // request acknowledged via MSN
+	completed     bool   // CQE generated
+	atomicVal     uint64 // original value returned by an atomic
+}
+
+// atomicResult records the original remote value.
+func (w *reqWQE) atomicResult(v uint64) { w.atomicVal = v }
+
+// RecvWQE is a Receive WQE: an application buffer consumed by Sends and
+// Write-with-Immediates in posted order.
+type RecvWQE struct {
+	ID  uint64
+	Buf []byte
+	sn  uint32 // recv_WQE_SN, assigned at post (or SRQ dequeue)
+}
+
+// pendingRead is a Read/Atomic request parked in the responder's Read WQE
+// buffer (§5.3.2) until all earlier packets have arrived.
+type pendingRead struct {
+	psn      uint32
+	sn       uint32 // read_WQE_SN
+	op       OpType
+	rkey     uint32
+	va       uint64
+	length   int
+	cmp, add uint64
+	swap     uint64
+	executed bool
+}
+
+// stagedCQE is a premature CQE (§5.3.3): the last packet of a message
+// arrived before its predecessors; the completion is staged "in main
+// memory" until the cumulative point passes it.
+type stagedCQE struct {
+	recvSN  uint32
+	imm     uint32
+	length  int
+	invKey  uint32
+	hasRecv bool // consumes a Receive WQE (Send*, WriteImm)
+	isSend  bool
+}
+
+// QP is one end of a reliable connection. Both endpoints are full QPs:
+// each side can be requester and responder simultaneously.
+type QP struct {
+	name string
+	eng  *sim.Engine
+	cfg  Config
+	wire Wire
+	mem  *Memory
+	cq   *CQ
+
+	// ---- Requester: request transmission (sPSN space, §5.4) ----
+	reqWQEs  []*reqWQE
+	posted   uint32 // messages posted
+	expired  uint32 // messages expired via MSN
+	sendQ    []*VPacket
+	fenceQ   []*Request // requests held behind a fence
+	pend     map[uint32]*VPacket
+	txNext   uint32
+	txCum    uint32
+	txSack   *bitmap.Bitmap
+	inRecov  bool
+	recSeq   uint32
+	retxNext uint32
+	highSack uint32
+	rnrUntil sim.Time
+	timer    *sim.Timer
+	sendSSN  uint32 // recv_WQE_SN allocator (Send*, WriteImm)
+	readSSN  uint32 // read_WQE_SN allocator
+
+	// ---- Requester: read/atomic responses (rPSN space) ----
+	readsOut map[uint32]*reqWQE // read_WQE_SN → WQE awaiting data
+	rrx      *bitmap.TwoBitmap
+	rrxExp   uint32
+
+	// ---- Responder: request reception (sPSN space) ----
+	rx       *bitmap.TwoBitmap
+	rxExp    uint32
+	msn      uint32
+	staged   map[uint32]*stagedCQE
+	recvQ    recvProvider
+	readBuf  map[uint32]*pendingRead // keyed by sPSN of the request packet
+	readSNAt map[uint32]uint32       // read_WQE_SN → sPSN (dedupe)
+
+	// ---- Responder: read/atomic response transmission (rPSN space) ----
+	rtxNext  uint32
+	rtxCum   uint32
+	rpend    map[uint32]*VPacket
+	rtxSack  *bitmap.Bitmap
+	rInRecov bool
+	rRecSeq  uint32
+	rRetxNx  uint32
+	rHigh    uint32
+	rTimer   *sim.Timer
+
+	// Stats.
+	Retransmits, Timeouts, RNRNacks, Drops uint64
+}
+
+// recvProvider abstracts the QP's own receive queue vs a shared one.
+type recvProvider interface {
+	// next dequeues the Receive WQE with the given sequence number,
+	// allotting sequence numbers on demand for SRQs (Appendix B.2).
+	get(sn uint32) (*RecvWQE, bool)
+	// posted reports how many receive WQEs have sequence numbers
+	// assigned or assignable right now.
+	available(sn uint32) bool
+	// consume marks sn consumed (CQE emitted).
+	consume(sn uint32)
+}
+
+// NewQP builds a QP. wire sends packets toward the peer; mem is the
+// memory exposed to the peer; cq receives completions.
+func NewQP(name string, eng *sim.Engine, cfg Config, wire Wire, mem *Memory, cq *CQ) *QP {
+	if cfg.MTU <= 0 || cfg.BDPCap <= 0 {
+		panic("verbs: bad config")
+	}
+	q := &QP{
+		name:     name,
+		eng:      eng,
+		cfg:      cfg,
+		wire:     wire,
+		mem:      mem,
+		cq:       cq,
+		pend:     make(map[uint32]*VPacket),
+		txSack:   bitmap.New(4096),
+		readsOut: make(map[uint32]*reqWQE),
+		rrx:      bitmap.NewTwo(4096),
+		rx:       bitmap.NewTwo(4096),
+		staged:   make(map[uint32]*stagedCQE),
+		readBuf:  make(map[uint32]*pendingRead),
+		readSNAt: make(map[uint32]uint32),
+		rpend:    make(map[uint32]*VPacket),
+		rtxSack:  bitmap.New(4096),
+	}
+	q.recvQ = newRecvQueue()
+	q.timer = sim.NewTimer(eng, q.onTimeout)
+	q.rTimer = sim.NewTimer(eng, q.onReadTimeout)
+	return q
+}
+
+// UseSRQ attaches a shared receive queue (Appendix B.2). The QP keeps
+// its own recv_WQE_SN space over WQEs it dequeues from the pool.
+func (q *QP) UseSRQ(srq *SRQ) { q.recvQ = newSRQBinding(srq) }
+
+// PostRecv posts a Receive WQE to the QP's own receive queue.
+func (q *QP) PostRecv(id uint64, buf []byte) {
+	rq, ok := q.recvQ.(*recvQueue)
+	if !ok {
+		panic("verbs: QP uses an SRQ; post to the SRQ instead")
+	}
+	rq.post(&RecvWQE{ID: id, Buf: buf})
+}
+
+// MSN exposes the responder's message sequence number (tests).
+func (q *QP) MSN() uint32 { return q.msn }
+
+// Expected exposes the responder's expected sPSN (tests).
+func (q *QP) Expected() uint32 { return q.rxExp }
+
+// PostSend posts a Request WQE and starts transmission.
+func (q *QP) PostSend(req Request) error {
+	if req.Op == OpSendInv {
+		req.Fence = true // Appendix B.5
+	}
+	if (req.Fence && len(q.reqWQEs) > 0) || len(q.fenceQ) > 0 {
+		q.fenceQ = append(q.fenceQ, &req)
+		return nil
+	}
+	return q.admit(req)
+}
+
+// admit packetizes a request into the send queue.
+func (q *QP) admit(req Request) error {
+	w := &reqWQE{req: req, msgIdx: q.posted}
+	switch req.Op {
+	case OpWrite, OpWriteImm:
+		if !validLen(len(req.Data)) {
+			return fmt.Errorf("verbs: bad write length %d", len(req.Data))
+		}
+		w.pkts = pktsFor(len(req.Data), q.cfg.MTU)
+	case OpSend, OpSendInv:
+		if !validLen(len(req.Data)) {
+			return fmt.Errorf("verbs: bad send length %d", len(req.Data))
+		}
+		w.pkts = pktsFor(len(req.Data), q.cfg.MTU)
+	case OpRead:
+		if len(req.Local) == 0 {
+			return fmt.Errorf("verbs: read needs a destination buffer")
+		}
+		w.pkts = 1
+		w.dataRemaining = pktsFor(len(req.Local), q.cfg.MTU)
+	case OpFetchAdd, OpCmpSwap:
+		w.pkts = 1
+		w.dataRemaining = 1 // single response packet
+	default:
+		return fmt.Errorf("verbs: unknown op %v", req.Op)
+	}
+	w.firstPSN = q.txNext
+	q.posted++
+	q.reqWQEs = append(q.reqWQEs, w)
+	q.buildPackets(w)
+	q.pump()
+	return nil
+}
+
+func validLen(n int) bool { return n >= 0 }
+
+func pktsFor(n, mtu int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + mtu - 1) / mtu
+}
+
+// buildPackets constructs the wire packets for a WQE, assigning sPSNs.
+func (q *QP) buildPackets(w *reqWQE) {
+	req := w.req
+	switch req.Op {
+	case OpWrite, OpWriteImm:
+		q.buildSegmented(w, req.Data, true)
+	case OpSend, OpSendInv:
+		q.buildSegmented(w, req.Data, false)
+	case OpRead:
+		sn := q.readSSN
+		q.readSSN++
+		q.readsOut[sn] = w
+		p := &VPacket{
+			BTH:  packet.BTH{Opcode: packet.OpReadRequest, PSN: q.txNext},
+			RETH: packet.RETH{VA: req.VA, RKey: req.RKey, DMALen: uint32(len(req.Local))},
+			Ext:  packet.IRNExt{WQESeq: sn},
+		}
+		q.enqueue(p)
+	case OpFetchAdd, OpCmpSwap:
+		sn := q.readSSN
+		q.readSSN++
+		q.readsOut[sn] = w
+		op := packet.OpFetchAdd
+		if req.Op == OpCmpSwap {
+			op = packet.OpCompareSwap
+		}
+		p := &VPacket{
+			BTH:       packet.BTH{Opcode: op, PSN: q.txNext},
+			RETH:      packet.RETH{VA: req.VA, RKey: req.RKey, DMALen: 8},
+			Ext:       packet.IRNExt{WQESeq: sn},
+			AtomicCmp: req.Cmp, AtomicSwap: req.Swap,
+		}
+		if req.Op == OpFetchAdd {
+			p.AtomicCmp = req.Add // add operand rides in the cmp slot
+		}
+		q.enqueue(p)
+	}
+}
+
+// buildSegmented splits Write/Send payloads into MTU packets. Writes
+// carry a RETH in every packet with the packet's own placement address
+// (§5.3.1); Sends carry recv_WQE_SN and the relative offset (§5.3.2).
+func (q *QP) buildSegmented(w *reqWQE, data []byte, isWrite bool) {
+	req := w.req
+	mtu := q.cfg.MTU
+	n := w.pkts
+	var recvSN uint32
+	if req.Op == OpSend || req.Op == OpSendInv || req.Op == OpWriteImm {
+		recvSN = q.sendSSN
+		q.sendSSN++
+	}
+	for i := 0; i < n; i++ {
+		lo := i * mtu
+		hi := lo + mtu
+		if hi > len(data) {
+			hi = len(data)
+		}
+		var payload []byte
+		if lo < len(data) {
+			payload = data[lo:hi]
+		}
+		p := &VPacket{
+			BTH:     packet.BTH{Opcode: segOpcode(req.Op, i, n), PSN: q.txNext},
+			Payload: payload,
+		}
+		if isWrite {
+			p.RETH = packet.RETH{VA: req.VA + uint64(lo), RKey: req.RKey, DMALen: uint32(len(data))}
+		}
+		switch req.Op {
+		case OpSend, OpSendInv:
+			p.Ext = packet.IRNExt{WQESeq: recvSN, RelOffset: uint32(i)}
+		case OpWriteImm:
+			if i == n-1 {
+				p.Ext = packet.IRNExt{WQESeq: recvSN}
+			}
+		}
+		if i == n-1 {
+			p.Imm = req.Imm
+			p.InvKey = req.InvKey
+		}
+		q.enqueue(p)
+	}
+}
+
+// segOpcode picks first/middle/last/only opcodes.
+func segOpcode(op OpType, i, n int) packet.Opcode {
+	type trio struct{ first, mid, last, only packet.Opcode }
+	var t trio
+	switch op {
+	case OpWrite:
+		t = trio{packet.OpWriteFirst, packet.OpWriteMiddle, packet.OpWriteLast, packet.OpWriteOnly}
+	case OpWriteImm:
+		t = trio{packet.OpWriteFirst, packet.OpWriteMiddle, packet.OpWriteLastImm, packet.OpWriteOnlyImm}
+	case OpSend:
+		t = trio{packet.OpSendFirst, packet.OpSendMiddle, packet.OpSendLast, packet.OpSendOnly}
+	case OpSendInv:
+		t = trio{packet.OpSendFirst, packet.OpSendMiddle, packet.OpSendLastInv, packet.OpSendOnlyInv}
+	}
+	switch {
+	case n == 1:
+		return t.only
+	case i == 0:
+		return t.first
+	case i == n-1:
+		return t.last
+	default:
+		return t.mid
+	}
+}
+
+// enqueue assigns the next sPSN and queues the packet for transmission.
+func (q *QP) enqueue(p *VPacket) {
+	p.BTH.PSN = q.txNext
+	q.txNext++
+	q.sendQ = append(q.sendQ, p)
+}
+
+// pump transmits everything currently allowed: retransmissions first,
+// then new packets within BDP-FC.
+func (q *QP) pump() {
+	now := q.eng.Now()
+	if now < q.rnrUntil {
+		return // backing off after an RNR NACK
+	}
+	// Retransmissions (selective, §3.1).
+	for q.inRecov {
+		psn, ok := q.peekRetx()
+		if !ok {
+			break
+		}
+		if q.retxNext <= q.txCum {
+			q.retxNext = q.txCum + 1
+		} else {
+			q.retxNext = psn + 1
+		}
+		if p, ok := q.pend[psn]; ok {
+			q.Retransmits++
+			q.wire.Send(p)
+		}
+	}
+	// New packets under BDP-FC.
+	for len(q.sendQ) > 0 && int(q.txNext-q.txCum) <= q.cfg.BDPCap+len(q.sendQ) {
+		p := q.sendQ[0]
+		if int(p.BTH.PSN-q.txCum) >= q.cfg.BDPCap {
+			break
+		}
+		q.sendQ = q.sendQ[1:]
+		q.pend[p.BTH.PSN] = p
+		q.wire.Send(p)
+	}
+	q.armTimer()
+}
+
+// peekRetx mirrors §3.1: first the cumulative ack, then holes below the
+// highest SACK.
+func (q *QP) peekRetx() (uint32, bool) {
+	if q.retxNext <= q.txCum {
+		if _, ok := q.pend[q.txCum]; ok {
+			return q.txCum, true
+		}
+		return 0, false
+	}
+	if q.highSack == 0 || q.retxNext >= q.highSack {
+		return 0, false
+	}
+	off := q.txSack.NextZero(int(q.retxNext - q.txCum))
+	psn := q.txCum + uint32(off)
+	if psn < q.highSack {
+		if _, ok := q.pend[psn]; ok {
+			return psn, true
+		}
+	}
+	return 0, false
+}
+
+// armTimer arms the request retransmission timer (§3.1 dual timeouts).
+func (q *QP) armTimer() {
+	if q.txCum >= q.txNext {
+		q.timer.Cancel()
+		return
+	}
+	d := q.cfg.RTOHigh
+	if int(q.txNext-q.txCum) < q.cfg.RTOLowN {
+		d = q.cfg.RTOLow
+	}
+	q.timer.Arm(d)
+}
+
+// onTimeout restarts recovery from the cumulative ack.
+func (q *QP) onTimeout() {
+	if q.txCum >= q.txNext {
+		return
+	}
+	q.Timeouts++
+	q.enterRecovery()
+	q.retxNext = q.txCum
+	q.pump()
+}
+
+func (q *QP) enterRecovery() {
+	if q.inRecov {
+		return
+	}
+	q.inRecov = true
+	if q.txNext > 0 {
+		q.recSeq = q.txNext - 1
+	}
+}
+
+// Receive processes a packet from the peer; the Wire calls this.
+func (q *QP) Receive(p *VPacket, now sim.Time) {
+	switch p.BTH.Opcode {
+	case packet.OpAcknowledge:
+		q.onAck(p, false, now)
+	case packet.OpAtomicAcknowledge: // used as the NACK carrier
+		q.onAck(p, true, now)
+	case packet.OpReadRespFirst, packet.OpReadRespMiddle, packet.OpReadRespLast, packet.OpReadRespOnly:
+		q.onReadResponse(p, now)
+	case packet.OpReadNack:
+		q.onReadNack(p)
+	default:
+		q.onRequest(p, now)
+	}
+}

@@ -1,0 +1,187 @@
+package verbs
+
+import (
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// This file is the requester's control-plane: ACK/NACK processing on the
+// sPSN space (including WQE expiry via the MSN), read-response reception
+// on the rPSN space with read (N)ACK generation (§5.2), and fence
+// release.
+
+// onAck processes an ACK (nack=false) or NACK/RNR (nack=true).
+func (q *QP) onAck(p *VPacket, nack bool, now sim.Time) {
+	cum := p.BTH.PSN
+
+	if cum > q.txCum {
+		for psn := q.txCum; psn != cum; psn++ {
+			delete(q.pend, psn)
+		}
+		q.txSack.AdvanceTo(cum)
+		q.txCum = cum
+		if q.retxNext < cum {
+			q.retxNext = cum
+		}
+		if q.inRecov && cum > q.recSeq {
+			q.inRecov = false
+		}
+		q.armTimer()
+	}
+
+	// Expire Request WQEs the responder has completed (§5.3.3): the MSN
+	// in the AETH identifies them.
+	q.expireRequests(p.AETH.MSN, now)
+
+	if nack {
+		switch p.AETH.Syndrome {
+		case packet.SyndromeRNRNack:
+			// Receiver not ready: back off, then resume from the
+			// cumulative point (Appendix B.3/B.4: error NACKs trigger
+			// go-back-N).
+			q.rnrUntil = now.Add(q.cfg.RNRDelay)
+			q.enterRecovery()
+			q.retxNext = q.txCum
+			gen := q.rnrUntil
+			q.eng.Schedule(q.rnrUntil, func() {
+				if q.rnrUntil == gen {
+					q.pump()
+				}
+			})
+			return
+		default:
+			if p.SackPSN >= q.txCum {
+				if fresh, err := q.txSack.Set(p.SackPSN); err == nil && fresh {
+					if p.SackPSN+1 > q.highSack {
+						q.highSack = p.SackPSN + 1
+					}
+				}
+			}
+			if !q.inRecov {
+				q.enterRecovery()
+				q.retxNext = q.txCum
+			}
+		}
+	}
+	q.pump()
+}
+
+// expireRequests pops Request WQEs up to the acknowledged MSN, emitting
+// CQEs for Writes and Sends (Reads and Atomics complete on data arrival).
+func (q *QP) expireRequests(msn uint32, now sim.Time) {
+	for q.expired < msn && len(q.reqWQEs) > 0 {
+		w := q.reqWQEs[0]
+		if w.msgIdx >= msn {
+			break
+		}
+		w.expired = true
+		q.reqWQEs = q.reqWQEs[1:]
+		q.expired++
+		switch w.req.Op {
+		case OpWrite, OpWriteImm, OpSend, OpSendInv:
+			if !w.completed {
+				w.completed = true
+				q.cq.push(CQE{WQEID: w.req.ID, Op: w.req.Op, Len: len(w.req.Data), At: now})
+			}
+		}
+	}
+	q.releaseFence(now)
+}
+
+// releaseFence admits fenced requests once every prior WQE has expired
+// and completed (§5.3.4, Appendix B.5).
+func (q *QP) releaseFence(now sim.Time) {
+	for len(q.fenceQ) > 0 {
+		if len(q.reqWQEs) > 0 {
+			return
+		}
+		for _, w := range q.readsOutstanding() {
+			if !w.completed {
+				return
+			}
+		}
+		next := q.fenceQ[0]
+		q.fenceQ = q.fenceQ[1:]
+		if err := q.admit(*next); err != nil {
+			q.cq.push(CQE{WQEID: next.ID, Op: next.Op, At: now})
+		}
+	}
+}
+
+// readsOutstanding lists read/atomic WQEs still awaiting data.
+func (q *QP) readsOutstanding() []*reqWQE {
+	var out []*reqWQE
+	for _, w := range q.readsOut {
+		if w.dataRemaining > 0 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// onReadResponse handles a read/atomic response packet on the rPSN space:
+// place the data at its final location immediately, send a read (N)ACK on
+// the new opcode (§5.2), and complete the read when all packets landed.
+func (q *QP) onReadResponse(p *VPacket, now sim.Time) {
+	psn := p.BTH.PSN
+	if psn < q.rrxExp {
+		q.sendReadAck(false, 0) // duplicate: re-ack
+		return
+	}
+	if int(psn-q.rrxExp) >= q.rrx.Cap() {
+		q.Drops++
+		return
+	}
+	fresh, err := q.rrx.MarkArrived(psn, p.BTH.Opcode.IsLast())
+	if err != nil {
+		q.Drops++
+		return
+	}
+	if fresh {
+		w, ok := q.readsOut[p.Ext.WQESeq]
+		if ok && w.dataRemaining > 0 {
+			switch w.req.Op {
+			case OpRead:
+				off := int(p.Ext.RelOffset) * q.cfg.MTU
+				if off+len(p.Payload) <= len(w.req.Local) {
+					copy(w.req.Local[off:], p.Payload)
+				}
+			case OpFetchAdd, OpCmpSwap:
+				w.atomicResult(p.AtomicCmp)
+			}
+			w.dataRemaining--
+			if w.dataRemaining == 0 && !w.completed {
+				w.completed = true
+				q.cq.push(CQE{
+					WQEID:  w.req.ID,
+					Op:     w.req.Op,
+					Len:    len(w.req.Local),
+					Atomic: w.atomicVal,
+					At:     now,
+				})
+				q.releaseFence(now)
+			}
+		}
+	}
+	if psn == q.rrxExp {
+		n, _ := q.rrx.AdvanceCumulative()
+		q.rrxExp += uint32(n)
+		q.sendReadAck(false, 0)
+	} else {
+		q.sendReadAck(true, psn)
+	}
+}
+
+// sendReadAck emits the read (N)ACK (§5.2): cumulative rPSN plus,
+// for NACKs, the triggering PSN.
+func (q *QP) sendReadAck(nack bool, sack uint32) {
+	syn := uint8(packet.SyndromeAck)
+	if nack {
+		syn = packet.SyndromeNack
+	}
+	q.wire.Send(&VPacket{
+		BTH:     packet.BTH{Opcode: packet.OpReadNack, PSN: q.rrxExp},
+		AETH:    packet.AETH{Syndrome: syn},
+		SackPSN: sack,
+	})
+}

@@ -1,0 +1,377 @@
+package verbs
+
+import (
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// This file is the responder half of the QP: request-packet processing
+// with out-of-order DMA placement (§5.3), the Read WQE buffer, premature
+// CQEs, MSN maintenance, and read-response transmission on the rPSN space.
+
+// onRequest handles an arriving request packet (Write/Send/Read/Atomic).
+func (q *QP) onRequest(p *VPacket, now sim.Time) {
+	psn := p.BTH.PSN
+	switch {
+	case psn < q.rxExp:
+		// Duplicate below the window: re-ACK so the requester advances.
+		q.sendAck()
+		return
+	case int(psn-q.rxExp) >= q.rx.Cap():
+		q.Drops++ // far beyond the window: BDP-FC violation; drop
+		return
+	}
+
+	ooo := psn != q.rxExp
+
+	// Sends need their Receive WQE to place data; if it is not there:
+	// in-order arrivals get an RNR NACK, out-of-order arrivals are
+	// silently dropped (Appendix B.3 — the probe case).
+	if isSendOpcode(p.BTH.Opcode) {
+		if !q.recvQ.available(p.Ext.WQESeq) {
+			if ooo {
+				q.Drops++
+				return
+			}
+			q.RNRNacks++
+			q.sendRNR()
+			return
+		}
+	}
+
+	fresh, err := q.rx.MarkArrived(psn, p.BTH.Opcode.IsLast())
+	if err != nil {
+		q.Drops++
+		return
+	}
+	if fresh {
+		q.placeData(p, now)
+	}
+
+	if ooo {
+		// NACK with cumulative ack + the PSN that triggered it (§3.1).
+		q.sendNack(psn)
+	} else {
+		q.advanceCumulative(now)
+		q.sendAck()
+	}
+}
+
+// isSendOpcode reports Send-class opcodes (consume Receive WQEs for
+// placement).
+func isSendOpcode(op packet.Opcode) bool {
+	switch op {
+	case packet.OpSendFirst, packet.OpSendMiddle, packet.OpSendLast,
+		packet.OpSendOnly, packet.OpSendLastImm, packet.OpSendOnlyImm,
+		packet.OpSendLastInv, packet.OpSendOnlyInv:
+		return true
+	}
+	return false
+}
+
+// placeData DMAs the packet payload to its final location immediately,
+// even out of order (§5.3: "the NIC DMAs OOO packets directly to the
+// final address in the application memory").
+func (q *QP) placeData(p *VPacket, now sim.Time) {
+	op := p.BTH.Opcode
+	switch {
+	case op >= packet.OpWriteFirst && op <= packet.OpWriteOnlyImm:
+		// Every IRN write packet carries a RETH addressing its own
+		// bytes (§5.3.1).
+		if len(p.Payload) > 0 {
+			q.mem.Write(p.RETH.RKey, p.RETH.VA, p.Payload)
+		}
+		if op.IsLast() {
+			st := &stagedCQE{imm: p.Imm, length: int(p.RETH.DMALen)}
+			if op.HasImmediate() {
+				st.hasRecv = true
+				st.recvSN = p.Ext.WQESeq
+			}
+			q.staged[p.BTH.PSN] = st
+		}
+
+	case isSendOpcode(op):
+		// Placement via recv_WQE_SN + relative offset (§5.3.2).
+		if w, ok := q.recvQ.get(p.Ext.WQESeq); ok {
+			off := int(p.Ext.RelOffset) * q.cfg.MTU
+			if off+len(p.Payload) <= len(w.Buf) {
+				copy(w.Buf[off:], p.Payload)
+			}
+		}
+		if op.IsLast() {
+			st := &stagedCQE{
+				recvSN:  p.Ext.WQESeq,
+				imm:     p.Imm,
+				hasRecv: true,
+				isSend:  true,
+				length:  int(p.Ext.RelOffset)*q.cfg.MTU + len(p.Payload),
+			}
+			if op == packet.OpSendLastInv || op == packet.OpSendOnlyInv {
+				st.invKey = p.InvKey
+			}
+			q.staged[p.BTH.PSN] = st
+		}
+
+	case op == packet.OpReadRequest:
+		// Park in the Read WQE buffer, indexed by read_WQE_SN (§5.3.2).
+		q.parkRead(&pendingRead{
+			psn: p.BTH.PSN, sn: p.Ext.WQESeq, op: OpRead,
+			rkey: p.RETH.RKey, va: p.RETH.VA, length: int(p.RETH.DMALen),
+		})
+
+	case op == packet.OpFetchAdd:
+		q.parkRead(&pendingRead{
+			psn: p.BTH.PSN, sn: p.Ext.WQESeq, op: OpFetchAdd,
+			rkey: p.RETH.RKey, va: p.RETH.VA, length: 8, add: p.AtomicCmp,
+		})
+
+	case op == packet.OpCompareSwap:
+		q.parkRead(&pendingRead{
+			psn: p.BTH.PSN, sn: p.Ext.WQESeq, op: OpCmpSwap,
+			rkey: p.RETH.RKey, va: p.RETH.VA, length: 8,
+			cmp: p.AtomicCmp, swap: p.AtomicSwap,
+		})
+	}
+	_ = now
+}
+
+// parkRead stores a Read/Atomic request for in-order execution; the
+// read_WQE_SN map dedupes retransmitted requests.
+func (q *QP) parkRead(r *pendingRead) {
+	if psn, ok := q.readSNAt[r.sn]; ok {
+		if old, ok2 := q.readBuf[psn]; ok2 && old.executed {
+			return // already executed; duplicate request
+		}
+	}
+	q.readSNAt[r.sn] = r.psn
+	q.readBuf[r.psn] = r
+}
+
+// advanceCumulative pops the in-order prefix of the 2-bitmap: bump the
+// MSN per completed message, emit staged CQEs in order, execute eligible
+// Read/Atomic requests (§5.3.3).
+func (q *QP) advanceCumulative(now sim.Time) {
+	base := q.rxExp
+	pkts, _ := q.rx.AdvanceCumulative()
+	if pkts == 0 {
+		return
+	}
+	q.rxExp += uint32(pkts)
+	for psn := base; psn != q.rxExp; psn++ {
+		if st, ok := q.staged[psn]; ok {
+			delete(q.staged, psn)
+			q.msn++
+			q.emitRecvCQE(st, now)
+		}
+		if r, ok := q.readBuf[psn]; ok && !r.executed {
+			r.executed = true
+			q.msn++
+			q.executeRead(r, now)
+		}
+	}
+}
+
+// emitRecvCQE delivers a responder-side completion (and the
+// Send-with-Invalidate side effect).
+func (q *QP) emitRecvCQE(st *stagedCQE, now sim.Time) {
+	if st.invKey != 0 {
+		q.mem.Invalidate(st.invKey)
+	}
+	if !st.hasRecv {
+		return // plain Writes complete silently at the responder
+	}
+	var id uint64
+	if w, ok := q.recvQ.get(st.recvSN); ok {
+		id = w.ID
+	}
+	q.recvQ.consume(st.recvSN)
+	q.cq.push(CQE{
+		WQEID:   id,
+		Op:      OpSend,
+		Imm:     st.imm,
+		Len:     st.length,
+		Receive: true,
+		At:      now,
+	})
+}
+
+// executeRead runs an eligible Read or Atomic and streams the response
+// on the rPSN space.
+func (q *QP) executeRead(r *pendingRead, now sim.Time) {
+	switch r.op {
+	case OpRead:
+		data, ok := q.mem.Read(r.rkey, r.va, r.length)
+		if !ok {
+			data = make([]byte, r.length)
+		}
+		n := pktsFor(len(data), q.cfg.MTU)
+		for i := 0; i < n; i++ {
+			lo := i * q.cfg.MTU
+			hi := lo + q.cfg.MTU
+			if hi > len(data) {
+				hi = len(data)
+			}
+			p := &VPacket{
+				BTH:     packet.BTH{Opcode: readRespOpcode(i, n), PSN: q.rtxNext},
+				Ext:     packet.IRNExt{WQESeq: r.sn, RelOffset: uint32(i)},
+				Payload: data[lo:hi],
+			}
+			q.sendReadResp(p)
+		}
+	case OpFetchAdd, OpCmpSwap:
+		orig, _ := q.mem.ReadWord(r.rkey, r.va)
+		switch r.op {
+		case OpFetchAdd:
+			q.mem.WriteWord(r.rkey, r.va, orig+r.add)
+		case OpCmpSwap:
+			if orig == r.cmp {
+				q.mem.WriteWord(r.rkey, r.va, r.swap)
+			}
+		}
+		p := &VPacket{
+			BTH:       packet.BTH{Opcode: packet.OpReadRespOnly, PSN: q.rtxNext},
+			Ext:       packet.IRNExt{WQESeq: r.sn},
+			AtomicCmp: orig, // original value rides back to the requester
+		}
+		q.sendReadResp(p)
+	}
+	_ = now
+}
+
+func readRespOpcode(i, n int) packet.Opcode {
+	switch {
+	case n == 1:
+		return packet.OpReadRespOnly
+	case i == 0:
+		return packet.OpReadRespFirst
+	case i == n-1:
+		return packet.OpReadRespLast
+	default:
+		return packet.OpReadRespMiddle
+	}
+}
+
+// sendReadResp assigns the next rPSN and transmits, retaining the packet
+// for retransmission. The Read responder implements timeouts (§5.2).
+func (q *QP) sendReadResp(p *VPacket) {
+	p.BTH.PSN = q.rtxNext
+	q.rtxNext++
+	q.rpend[p.BTH.PSN] = p
+	q.wire.Send(p)
+	q.armReadTimer()
+}
+
+func (q *QP) armReadTimer() {
+	if q.rtxCum >= q.rtxNext {
+		q.rTimer.Cancel()
+		return
+	}
+	d := q.cfg.RTOHigh
+	if int(q.rtxNext-q.rtxCum) < q.cfg.RTOLowN {
+		d = q.cfg.RTOLow
+	}
+	q.rTimer.Arm(d)
+}
+
+// onReadTimeout retransmits read responses from the cumulative point.
+func (q *QP) onReadTimeout() {
+	if q.rtxCum >= q.rtxNext {
+		return
+	}
+	q.Timeouts++
+	q.rInRecov = true
+	if q.rtxNext > 0 {
+		q.rRecSeq = q.rtxNext - 1
+	}
+	q.rRetxNx = q.rtxCum
+	q.pumpReadRetx()
+	q.armReadTimer()
+}
+
+// onReadNack processes the requester's read (N)ACKs (§5.2): cumulative
+// advance plus SACK bookkeeping on the rPSN space.
+func (q *QP) onReadNack(p *VPacket) {
+	cum := p.BTH.PSN
+	isNack := p.AETH.Syndrome == packet.SyndromeNack
+	if cum > q.rtxCum {
+		for psn := q.rtxCum; psn != cum; psn++ {
+			delete(q.rpend, psn)
+		}
+		q.rtxSack.AdvanceTo(cum)
+		q.rtxCum = cum
+		if q.rRetxNx < cum {
+			q.rRetxNx = cum
+		}
+		if q.rInRecov && cum > q.rRecSeq {
+			q.rInRecov = false
+		}
+		q.armReadTimer()
+	}
+	if isNack {
+		if p.SackPSN >= q.rtxCum {
+			if fresh, err := q.rtxSack.Set(p.SackPSN); err == nil && fresh {
+				if p.SackPSN+1 > q.rHigh {
+					q.rHigh = p.SackPSN + 1
+				}
+			}
+		}
+		if !q.rInRecov {
+			q.rInRecov = true
+			if q.rtxNext > 0 {
+				q.rRecSeq = q.rtxNext - 1
+			}
+			q.rRetxNx = q.rtxCum
+		}
+		q.pumpReadRetx()
+	}
+}
+
+// pumpReadRetx selectively retransmits lost read responses.
+func (q *QP) pumpReadRetx() {
+	for q.rInRecov {
+		var psn uint32
+		if q.rRetxNx <= q.rtxCum {
+			psn = q.rtxCum
+			q.rRetxNx = q.rtxCum + 1
+		} else {
+			if q.rHigh == 0 || q.rRetxNx >= q.rHigh {
+				return
+			}
+			off := q.rtxSack.NextZero(int(q.rRetxNx - q.rtxCum))
+			psn = q.rtxCum + uint32(off)
+			if psn >= q.rHigh {
+				return
+			}
+			q.rRetxNx = psn + 1
+		}
+		if p, ok := q.rpend[psn]; ok {
+			q.Retransmits++
+			q.wire.Send(p)
+		}
+	}
+}
+
+// sendAck emits a cumulative ACK carrying the MSN (§5.3.3).
+func (q *QP) sendAck() {
+	q.wire.Send(&VPacket{
+		BTH:  packet.BTH{Opcode: packet.OpAcknowledge, PSN: q.rxExp},
+		AETH: packet.AETH{Syndrome: packet.SyndromeAck, MSN: q.msn},
+	})
+}
+
+// sendNack emits an IRN NACK: cumulative ack + triggering PSN.
+func (q *QP) sendNack(sack uint32) {
+	q.wire.Send(&VPacket{
+		BTH:     packet.BTH{Opcode: packet.OpAtomicAcknowledge, PSN: q.rxExp},
+		AETH:    packet.AETH{Syndrome: packet.SyndromeNack, MSN: q.msn},
+		SackPSN: sack,
+	})
+}
+
+// sendRNR emits a receiver-not-ready NACK (Appendix B.3/B.4).
+func (q *QP) sendRNR() {
+	q.wire.Send(&VPacket{
+		BTH:  packet.BTH{Opcode: packet.OpAtomicAcknowledge, PSN: q.rxExp},
+		AETH: packet.AETH{Syndrome: packet.SyndromeRNRNack, MSN: q.msn},
+	})
+}

@@ -1,0 +1,117 @@
+package verbs
+
+// This file implements Receive WQE management: the per-QP receive queue,
+// and the shared receive queue of Appendix B.2, where recv_WQE_SNs are
+// allotted when WQEs are dequeued from the SRQ rather than when posted —
+// so a send packet with recv_WQE_SN = k forces dequeuing WQEs up to k.
+
+// recvQueue is the QP-private receive queue: WQEs get consecutive
+// sequence numbers at post time.
+type recvQueue struct {
+	wqes   map[uint32]*RecvWQE
+	nextSN uint32
+}
+
+func newRecvQueue() *recvQueue {
+	return &recvQueue{wqes: make(map[uint32]*RecvWQE)}
+}
+
+// post appends a Receive WQE, allotting the next recv_WQE_SN.
+func (r *recvQueue) post(w *RecvWQE) {
+	w.sn = r.nextSN
+	r.nextSN++
+	r.wqes[w.sn] = w
+}
+
+// get implements recvProvider.
+func (r *recvQueue) get(sn uint32) (*RecvWQE, bool) {
+	w, ok := r.wqes[sn]
+	return w, ok
+}
+
+// available implements recvProvider.
+func (r *recvQueue) available(sn uint32) bool {
+	_, ok := r.wqes[sn]
+	return ok
+}
+
+// consume implements recvProvider.
+func (r *recvQueue) consume(sn uint32) { delete(r.wqes, sn) }
+
+// SRQ is a shared receive queue (Appendix B.2): multiple QPs draw
+// Receive WQEs from one pool. Each QP keeps its own recv_WQE_SN space —
+// sequence numbers are allotted per QP, when WQEs are dequeued from the
+// pool: "rather than allotting it as soon as a new receive WQE is
+// posted... with SRQ, we allot it when new recv WQEs are dequeued from
+// SRQ." A send packet carrying recv_WQE_SN k forces its QP to dequeue
+// WQEs for its sequence numbers up to k.
+type SRQ struct {
+	queue []*RecvWQE
+}
+
+// NewSRQ returns an empty shared receive queue.
+func NewSRQ() *SRQ { return &SRQ{} }
+
+// Post appends a Receive WQE to the shared pool (no SN yet).
+func (s *SRQ) Post(id uint64, buf []byte) {
+	s.queue = append(s.queue, &RecvWQE{ID: id, Buf: buf})
+}
+
+// Pending reports WQEs still waiting in the shared pool.
+func (s *SRQ) Pending() int { return len(s.queue) }
+
+// dequeue pops the next pooled WQE, or nil if empty.
+func (s *SRQ) dequeue() *RecvWQE {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	w := s.queue[0]
+	s.queue = s.queue[1:]
+	return w
+}
+
+// srqBinding is one QP's view of a shared receive queue: the QP-local
+// recv_WQE_SN space mapped onto WQEs dequeued from the shared pool.
+type srqBinding struct {
+	srq    *SRQ
+	local  map[uint32]*RecvWQE
+	nextSN uint32
+}
+
+func newSRQBinding(s *SRQ) *srqBinding {
+	return &srqBinding{srq: s, local: make(map[uint32]*RecvWQE)}
+}
+
+// drainTo dequeues pool WQEs until this QP has allotted local sequence
+// number sn (the Appendix B.2 example: recv_WQE_SN 4 forces dequeuing
+// WQEs for SNs 1..4).
+func (b *srqBinding) drainTo(sn uint32) {
+	for b.nextSN <= sn {
+		w := b.srq.dequeue()
+		if w == nil {
+			return
+		}
+		w.sn = b.nextSN
+		b.local[b.nextSN] = w
+		b.nextSN++
+	}
+}
+
+// get implements recvProvider.
+func (b *srqBinding) get(sn uint32) (*RecvWQE, bool) {
+	b.drainTo(sn)
+	w, ok := b.local[sn]
+	return w, ok
+}
+
+// available implements recvProvider.
+func (b *srqBinding) available(sn uint32) bool {
+	if _, ok := b.local[sn]; ok {
+		return true
+	}
+	need := int(sn-b.nextSN) + 1
+	return need <= b.srq.Pending()
+}
+
+// consume implements recvProvider.
+func (b *srqBinding) consume(sn uint32) { delete(b.local, sn) }

@@ -1,0 +1,97 @@
+package irn_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/irnsim/irn"
+)
+
+func TestRunDefaultsProduceMetrics(t *testing.T) {
+	r := irn.Run(irn.Config{Flows: 300})
+	if r.Completed != 300 || r.Incomplete != 0 {
+		t.Fatalf("completed=%d incomplete=%d", r.Completed, r.Incomplete)
+	}
+	if r.AvgSlowdown < 1 {
+		t.Errorf("slowdown %v below 1 is impossible", r.AvgSlowdown)
+	}
+	if r.AvgFCTms <= 0 || r.P99FCTms < r.AvgFCTms {
+		t.Errorf("FCTs: avg=%v p99=%v", r.AvgFCTms, r.P99FCTms)
+	}
+	if len(r.SinglePacketTailMs) != 4 {
+		t.Errorf("tail points = %d", len(r.SinglePacketTailMs))
+	}
+	if r.Events == 0 {
+		t.Error("no events executed")
+	}
+}
+
+func TestRunHeadlineComparison(t *testing.T) {
+	irnRes := irn.Run(irn.Config{Transport: irn.TransportIRN, Flows: 500})
+	roce := irn.Run(irn.Config{Transport: irn.TransportRoCE, PFC: true, Flows: 500})
+	if irnRes.AvgSlowdown >= roce.AvgSlowdown {
+		t.Errorf("IRN slowdown %.2f !< RoCE+PFC %.2f", irnRes.AvgSlowdown, roce.AvgSlowdown)
+	}
+	if roce.Drops != 0 {
+		t.Errorf("RoCE+PFC dropped %d packets", roce.Drops)
+	}
+	if roce.PauseFrames == 0 {
+		t.Error("PFC run generated no pauses at 70% load")
+	}
+}
+
+func TestRunIncastMode(t *testing.T) {
+	r := irn.Run(irn.Config{IncastFanIn: 10, Seed: 2})
+	if r.IncastRCTms <= 0 {
+		t.Fatalf("RCT = %v", r.IncastRCTms)
+	}
+	if r.Completed != 10 {
+		t.Errorf("completed = %d, want 10 incast flows", r.Completed)
+	}
+}
+
+func TestRunAblationKnobs(t *testing.T) {
+	// 800 flows at the default load: enough congestion for losses, so
+	// the recovery ablations separate.
+	gbn := irn.Run(irn.Config{Recovery: irn.RecoveryGoBackN, Flows: 800, Seed: 11})
+	sack := irn.Run(irn.Config{Flows: 800, Seed: 11})
+	if sack.Drops == 0 {
+		t.Fatal("expected drops at this scale; ablation comparison void")
+	}
+	if gbn.AvgFCTms <= sack.AvgFCTms {
+		t.Errorf("go-back-N FCT %.4f !> SACK %.4f", gbn.AvgFCTms, sack.AvgFCTms)
+	}
+	noFC := irn.Run(irn.Config{DisableBDPFC: true, Flows: 800, Seed: 11})
+	if noFC.Drops <= sack.Drops {
+		t.Errorf("no-BDPFC drops %d !> default %d", noFC.Drops, sack.Drops)
+	}
+}
+
+func TestVerbsPublicSurface(t *testing.T) {
+	eng := irn.NewEngine()
+	var a, b *irn.QP
+	wireTo := func(dst **irn.QP) irn.Wire {
+		return irn.WireFunc(func(p *irn.VPacket) {
+			pp := p
+			eng.After(irn.Microseconds(2), func() { (*dst).Receive(pp, eng.Now()) })
+		})
+	}
+	memA, memB := irn.NewMemory(), irn.NewMemory()
+	cqA, cqB := &irn.CQ{}, &irn.CQ{}
+	a = irn.NewQP("a", eng, irn.DefaultQPConfig(), wireTo(&b), memA, cqA)
+	b = irn.NewQP("b", eng, irn.DefaultQPConfig(), wireTo(&a), memB, cqB)
+
+	dst := make([]byte, 4096)
+	memB.Register(1, dst)
+	payload := bytes.Repeat([]byte{0x5a}, 2500)
+	if err := a.PostSend(irn.Request{ID: 1, Op: irn.OpWrite, Data: payload, RKey: 1, VA: 0}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !bytes.Equal(dst[:len(payload)], payload) {
+		t.Fatal("write did not land")
+	}
+	if got := cqA.Poll(); len(got) != 1 || got[0].WQEID != 1 {
+		t.Fatalf("CQEs: %+v", got)
+	}
+}
