@@ -14,6 +14,8 @@ package irn
 // target, and several are asserted as tests in internal/exp.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/irnsim/irn/internal/exp"
@@ -26,12 +28,13 @@ import (
 )
 
 // benchExperiment runs one experiment preset per benchmark iteration and
-// reports the named result metrics.
+// reports the named result metrics. Scenarios shard across the fleet
+// runner's GOMAXPROCS workers; results are bit-identical to a serial run.
 func benchExperiment(b *testing.B, e exp.Experiment, report func(b *testing.B, rs []exp.Result)) {
 	b.Helper()
 	var results []exp.Result
 	for i := 0; i < b.N; i++ {
-		results = exp.RunExperiment(e)
+		results = exp.RunFleet(e, exp.FleetConfig{}).First()
 	}
 	b.Log("\n" + exp.Render(e, results))
 	if report != nil {
@@ -264,6 +267,24 @@ func BenchmarkTable2Modules(b *testing.B) {
 		}
 		reportMpps(b)
 	})
+}
+
+// BenchmarkFleetParallelism measures fleet-runner scaling: the Figure 1
+// sweep on one worker versus all of them. The speedup bounds how much
+// faster the whole suite runs on a given machine.
+func BenchmarkFleetParallelism(b *testing.B) {
+	e := exp.Figure1(exp.BenchScale())
+	widths := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		widths = append(widths, n)
+	}
+	for _, par := range widths {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exp.RunFleet(e, exp.FleetConfig{Parallel: par})
+			}
+		})
+	}
 }
 
 // reportMpps converts the benchmark's ns/op into millions of packets (or

@@ -1,17 +1,27 @@
 // Command experiments reproduces every table and figure of the paper's
 // evaluation (§4 and Appendix A): it runs the named experiment presets
-// and prints the same rows and series the paper reports.
+// through the fleet runner and prints the same rows and series the paper
+// reports.
 //
-//	experiments                 # the full suite
-//	experiments -run fig1,fig7  # selected experiments
-//	experiments -flows 10000    # closer to paper-scale (slower)
-//	experiments -list           # enumerate experiment ids
+//	experiments                        # the full suite, GOMAXPROCS-wide
+//	experiments -run fig1,fig7         # selected experiments
+//	experiments -parallel 8 -trials 5  # 5 seeds per scenario, 8 workers
+//	experiments -seed 42 -out r.json   # reseeded sweep persisted as JSON
+//	experiments -diff old.json         # compare against a previous run
+//	experiments -flows 10000           # closer to paper-scale (slower)
+//	experiments -list                  # enumerate experiment ids
+//
+// Results persisted with -out are keyed by experiment id + scenario label
+// + seed; re-running with the same -out merges into the existing file, so
+// a suite can be accumulated across invocations (or machines) and
+// compared across code versions with -diff.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -20,11 +30,16 @@ import (
 
 func main() {
 	var (
-		runIDs = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		flows  = flag.Int("flows", 4000, "Poisson flows per run (higher = closer to steady state)")
-		incast = flag.Int("incast-bytes", 15_000_000, "incast transfer size in bytes")
-		reps   = flag.Int("incast-reps", 3, "incast repetitions per fan-in")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		runIDs   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		flows    = flag.Int("flows", 4000, "Poisson flows per run (higher = closer to steady state)")
+		incast   = flag.Int("incast-bytes", 15_000_000, "incast transfer size in bytes")
+		reps     = flag.Int("incast-reps", 3, "incast repetitions per fan-in")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent scenario workers")
+		trials   = flag.Int("trials", 1, "trials per scenario (derived seeds; >1 reports mean±stddev)")
+		seed     = flag.Uint64("seed", 0, "base seed for derived trial seeds (0 = preset seeds when -trials=1)")
+		out      = flag.String("out", "", "persist results as JSON (merging into an existing file)")
+		diffPath = flag.String("diff", "", "diff results against a previously saved JSON file")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -51,12 +66,52 @@ func main() {
 		}
 	}
 
+	store := exp.NewStore()
+	cfg := exp.FleetConfig{Parallel: *parallel, Trials: *trials, BaseSeed: *seed}
+
 	suiteStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
-		results := exp.RunExperiment(e)
-		fmt.Print(exp.Render(e, results))
-		fmt.Printf("(%d scenarios in %v)\n\n", len(results), time.Since(start).Round(time.Millisecond))
+		fr := exp.RunFleet(e, cfg)
+		store.PutFleet(fr)
+		if *trials > 1 {
+			fmt.Print(exp.RenderAggregates(e, fr.Aggregates()))
+		} else {
+			fmt.Print(exp.Render(e, fr.First()))
+		}
+		fmt.Printf("(%d scenarios x %d trials in %v)\n\n",
+			len(e.Scenarios), fr.Config.Trials, time.Since(start).Round(time.Millisecond))
 	}
 	fmt.Printf("suite completed in %v\n", time.Since(suiteStart).Round(time.Second))
+
+	// Persist before diffing: a bad -diff file must not cost the results
+	// of the sweep that just ran.
+	if *out != "" {
+		n, err := store.SaveMerged(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "persisting %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("persisted %d rows to %s\n", n, *out)
+	}
+
+	if *diffPath != "" {
+		prev, err := exp.LoadStore(*diffPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading %s: %v\n", *diffPath, err)
+			os.Exit(1)
+		}
+		// Restrict the baseline to rows this invocation produced, so
+		// diffing a partial rerun against a full saved suite compares
+		// only what was actually re-run.
+		diffs := exp.Diff(prev.Restrict(store), store)
+		if len(diffs) == 0 {
+			fmt.Printf("no differences vs %s\n", *diffPath)
+		} else {
+			fmt.Printf("%d differences vs %s:\n", len(diffs), *diffPath)
+			for _, d := range diffs {
+				fmt.Println("  " + d)
+			}
+		}
+	}
 }

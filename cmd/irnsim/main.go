@@ -1,5 +1,7 @@
-// Command irnsim runs a single simulation scenario and prints the
-// paper's metrics (§4.1: average slowdown, average FCT, 99%ile FCT).
+// Command irnsim runs a single simulation scenario through the fleet
+// runner and prints the paper's metrics (§4.1: average slowdown, average
+// FCT, 99%ile FCT). With -trials > 1 it repeats the scenario under
+// derived seeds across -parallel workers and reports mean ± stddev.
 //
 // Examples:
 //
@@ -7,16 +9,20 @@
 //	irnsim -transport roce -pfc -flows 4000
 //	irnsim -transport irn -cc dcqcn -load 0.9 -arity 8
 //	irnsim -transport irn -incast 30
-//	irnsim -transport irn -recovery gbn       # Figure 7 ablation
+//	irnsim -transport irn -recovery gbn           # Figure 7 ablation
+//	irnsim -trials 5 -parallel 5 -out runs.json   # seed sweep, persisted
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
-	"github.com/irnsim/irn"
+	"github.com/irnsim/irn/internal/core"
+	"github.com/irnsim/irn/internal/exp"
+	"github.com/irnsim/irn/internal/sim"
 )
 
 func main() {
@@ -29,33 +35,38 @@ func main() {
 		load      = flag.Float64("load", 0.7, "target link utilization")
 		flows     = flag.Int("flows", 2000, "number of flows")
 		buffer    = flag.Int("buffer", 0, "per-port buffer bytes (0 = 2xBDP)")
-		seed      = flag.Uint64("seed", 1, "random seed")
+		seed      = flag.Uint64("seed", 1, "random seed (base seed when -trials > 1)")
 		workload  = flag.String("workload", "heavy", "workload: heavy | uniform")
 		incast    = flag.Int("incast", 0, "incast fan-in M (0 = Poisson workload)")
 		recovery  = flag.String("recovery", "sack", "IRN loss recovery: sack | gbn | nosack")
 		noBDPFC   = flag.Bool("no-bdpfc", false, "disable IRN's BDP-FC")
 		overheads = flag.Bool("worst-overheads", false, "model the §6.3 worst-case overheads")
+		trials    = flag.Int("trials", 1, "repeat the scenario under derived seeds")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trial workers")
+		out       = flag.String("out", "", "persist results as JSON (merging into an existing file)")
 	)
 	flag.Parse()
 
-	cfg := irn.Config{
-		PFC:          *pfc,
-		FatTreeArity: *arity,
-		LinkGbps:     *gbps,
-		Load:         *load,
-		Flows:        *flows,
-		BufferBytes:  *buffer,
-		Seed:         *seed,
-		IncastFanIn:  *incast,
-		DisableBDPFC: *noBDPFC,
+	s := exp.Scenario{
+		Arity:       *arity,
+		Gbps:        *gbps,
+		Load:        *load,
+		NumFlows:    *flows,
+		BufferBytes: *buffer,
+		PFC:         *pfc,
+		Seed:        *seed,
+		IncastM:     *incast,
+	}
+	if *incast > 0 {
+		s.IncastBytes = 15_000_000
 	}
 	switch *transport {
 	case "irn":
-		cfg.Transport = irn.TransportIRN
+		s.Transport = exp.TransportIRN
 	case "roce":
-		cfg.Transport = irn.TransportRoCE
+		s.Transport = exp.TransportRoCE
 	case "iwarp", "tcp":
-		cfg.Transport = irn.TransportIWARP
+		s.Transport = exp.TransportTCP
 	default:
 		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
 		os.Exit(2)
@@ -63,13 +74,13 @@ func main() {
 	switch *ccName {
 	case "none":
 	case "timely":
-		cfg.CC = irn.CCTimely
+		s.CC = exp.CCTimely
 	case "dcqcn":
-		cfg.CC = irn.CCDCQCN
+		s.CC = exp.CCDCQCN
 	case "aimd":
-		cfg.CC = irn.CCAIMD
+		s.CC = exp.CCAIMD
 	case "dctcp":
-		cfg.CC = irn.CCDCTCP
+		s.CC = exp.CCDCTCP
 	default:
 		fmt.Fprintf(os.Stderr, "unknown cc %q\n", *ccName)
 		os.Exit(2)
@@ -77,7 +88,7 @@ func main() {
 	switch *workload {
 	case "heavy":
 	case "uniform":
-		cfg.Workload = irn.WorkloadUniform
+		s.Workload = exp.WorkloadUniform
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
@@ -85,37 +96,90 @@ func main() {
 	switch *recovery {
 	case "sack":
 	case "gbn":
-		cfg.Recovery = irn.RecoveryGoBackN
+		s.Recovery = core.RecoveryGoBackN
 	case "nosack":
-		cfg.Recovery = irn.RecoveryNoSACK
+		s.Recovery = core.RecoveryNoSACK
 	default:
 		fmt.Fprintf(os.Stderr, "unknown recovery %q\n", *recovery)
 		os.Exit(2)
 	}
+	s.NoBDPFC = *noBDPFC
 	if *overheads {
-		cfg.RetxFetchDelay = 2 * time.Microsecond
-		cfg.ExtraHeaderBytes = 16
+		s.RetxFetchDelay = 2 * sim.Microsecond
+		s.ExtraHeader = 16
+	}
+
+	// Persisted rows are keyed partly by name; describe the scenario
+	// rather than labelling every run "cli".
+	s.Name = *transport
+	if *ccName != "none" {
+		s.Name += "+" + *ccName
+	}
+	if *pfc {
+		s.Name += "+pfc"
+	}
+	if *incast > 0 {
+		s.Name += fmt.Sprintf(" incast M=%d", *incast)
+	}
+
+	e := exp.Experiment{ID: "irnsim", Description: "single-scenario CLI run", Scenarios: []exp.Scenario{s}}
+	cfg := exp.FleetConfig{Parallel: *parallel, Trials: *trials}
+	if *trials > 1 {
+		cfg.BaseSeed = *seed
 	}
 
 	start := time.Now()
-	r := irn.Run(cfg)
+	fr := exp.RunFleet(e, cfg)
 	wall := time.Since(start)
 
-	fmt.Printf("transport=%s cc=%s pfc=%v arity=%d gbps=%.0f load=%.2f flows=%d seed=%d\n",
-		*transport, *ccName, *pfc, *arity, *gbps, *load, *flows, *seed)
-	fmt.Printf("avg_slowdown   %10.2f\n", r.AvgSlowdown)
-	fmt.Printf("avg_fct_ms     %10.4f\n", r.AvgFCTms)
-	fmt.Printf("p99_fct_ms     %10.4f\n", r.P99FCTms)
-	if len(r.SinglePacketTailMs) == 4 {
-		fmt.Printf("1pkt_tail_ms   p90=%.4f p95=%.4f p99=%.4f p99.9=%.4f\n",
-			r.SinglePacketTailMs[0], r.SinglePacketTailMs[1], r.SinglePacketTailMs[2], r.SinglePacketTailMs[3])
+	fmt.Printf("transport=%s cc=%s pfc=%v arity=%d gbps=%.0f load=%.2f flows=%d seed=%d trials=%d\n",
+		*transport, *ccName, *pfc, *arity, *gbps, *load, *flows, *seed, fr.Config.Trials)
+
+	r := fr.Trials[0][0]
+	if *trials > 1 {
+		a := fr.Aggregates()[0]
+		fmt.Printf("avg_slowdown   %10.2f ± %.2f\n", a.AvgSlowdown.Mean, a.AvgSlowdown.Stddev)
+		fmt.Printf("avg_fct_ms     %10.4f ± %.4f\n", a.AvgFCTms.Mean, a.AvgFCTms.Stddev)
+		fmt.Printf("p99_fct_ms     %10.4f ± %.4f\n", a.P99FCTms.Mean, a.P99FCTms.Stddev)
+		if *incast > 0 {
+			fmt.Printf("incast_rct_ms  %10.3f ± %.3f\n", a.RCTms.Mean, a.RCTms.Stddev)
+		}
+		fmt.Printf("drops          %10.0f ± %.0f\n", a.Drops.Mean, a.Drops.Stddev)
+		fmt.Printf("retransmits    %10.0f ± %.0f\n", a.Retransmits.Mean, a.Retransmits.Stddev)
+	} else {
+		fmt.Printf("avg_slowdown   %10.2f\n", r.AvgSlowdown)
+		fmt.Printf("avg_fct_ms     %10.4f\n", r.AvgFCT.Millis())
+		fmt.Printf("p99_fct_ms     %10.4f\n", r.TailFCT.Millis())
+		if len(r.SinglePktCDF) == 4 {
+			fmt.Printf("1pkt_tail_ms   p90=%.4f p95=%.4f p99=%.4f p99.9=%.4f\n",
+				r.SinglePktCDF[0].Latency.Millis(), r.SinglePktCDF[1].Latency.Millis(),
+				r.SinglePktCDF[2].Latency.Millis(), r.SinglePktCDF[3].Latency.Millis())
+		}
+		if *incast > 0 {
+			fmt.Printf("incast_rct_ms  %10.3f\n", r.RCT.Millis())
+		}
+		fmt.Printf("flows          %d completed, %d incomplete\n", r.Summary.Flows, r.Summary.Incomplete)
+		fmt.Printf("fabric         drops=%d pauses=%d ecn_marked=%d\n", r.Net.Drops, r.Net.PauseFrames, r.Net.ECNMarked)
+		fmt.Printf("transport      retransmits=%d timeouts=%d\n", r.Retransmits, r.Timeouts)
 	}
-	if *incast > 0 {
-		fmt.Printf("incast_rct_ms  %10.3f\n", r.IncastRCTms)
+
+	var events uint64
+	for _, trials := range fr.Trials {
+		for _, res := range trials {
+			events += res.Events
+		}
 	}
-	fmt.Printf("flows          %d completed, %d incomplete\n", r.Completed, r.Incomplete)
-	fmt.Printf("fabric         drops=%d pauses=%d ecn_marked=%d\n", r.Drops, r.PauseFrames, r.ECNMarked)
-	fmt.Printf("transport      retransmits=%d timeouts=%d\n", r.Retransmits, r.Timeouts)
 	fmt.Printf("simulator      %d events in %v (%.1fM events/s)\n",
-		r.Events, wall.Round(time.Millisecond), float64(r.Events)/wall.Seconds()/1e6)
+		events, wall.Round(time.Millisecond), float64(events)/wall.Seconds()/1e6)
+
+	if *out != "" {
+		st := exp.NewStore()
+		st.PutFleet(fr)
+		n, err := st.SaveMerged(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "persisting %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("persisted %d rows to %s\n", n, *out)
+	}
 }

@@ -1,0 +1,3 @@
+module github.com/irnsim/irn
+
+go 1.24

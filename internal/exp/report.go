@@ -8,13 +8,12 @@ import (
 	"github.com/irnsim/irn/internal/metrics"
 )
 
-// RunExperiment executes every scenario of an experiment sequentially.
+// RunExperiment executes every scenario of an experiment once with its
+// preset seed, sharded across GOMAXPROCS workers. The results are
+// bit-identical to a serial loop over Run: parallelism only changes
+// wall-clock time (see RunFleet for multi-trial sweeps).
 func RunExperiment(e Experiment) []Result {
-	results := make([]Result, 0, len(e.Scenarios))
-	for _, s := range e.Scenarios {
-		results = append(results, Run(s))
-	}
-	return results
+	return RunFleet(e, FleetConfig{}).First()
 }
 
 // Render produces the experiment's report: the same rows/series the
@@ -33,6 +32,55 @@ func Render(e Experiment, results []Result) string {
 		renderBars(&b, results)
 	}
 	return b.String()
+}
+
+// RenderAggregates produces the multi-trial report: per scenario, each
+// headline metric as mean ± stddev with the 95% confidence half-width of
+// the mean — the error bars the paper's figures carry.
+func RenderAggregates(e Experiment, aggs []Aggregate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", e.ID, e.Description)
+	if len(aggs) == 0 {
+		return b.String()
+	}
+	trials := aggs[0].Trials
+	fmt.Fprintf(&b, "%d trials per scenario; mean ± stddev (95%% CI half-width)\n", trials)
+	if e.Kind == ReportIncast {
+		// Incast experiments are judged on request completion time; the
+		// FCT columns would be empty or meaningless for them.
+		fmt.Fprintf(&b, "%-42s %24s %22s %16s\n",
+			"scenario", "rct_ms", "avg_slowdown", "drops")
+		for _, a := range aggs {
+			fmt.Fprintf(&b, "%-42s %s %s %16s\n",
+				a.Name,
+				formatStat(a.RCTms, 24, 3),
+				formatStat(a.AvgSlowdown, 22, 2),
+				fmt.Sprintf("%.0f±%.0f", a.Drops.Mean, a.Drops.Stddev))
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-42s %22s %24s %24s %16s\n",
+		"scenario", "avg_slowdown", "avg_fct_ms", "p99_fct_ms", "drops")
+	for _, a := range aggs {
+		fmt.Fprintf(&b, "%-42s %s %s %s %16s\n",
+			a.Name,
+			formatStat(a.AvgSlowdown, 22, 2),
+			formatStat(a.AvgFCTms, 24, 4),
+			formatStat(a.P99FCTms, 24, 4),
+			fmt.Sprintf("%.0f±%.0f", a.Drops.Mean, a.Drops.Stddev))
+	}
+	return b.String()
+}
+
+// formatStat renders "mean±stddev (ci)" right-aligned in width columns.
+func formatStat(s Stat, width, prec int) string {
+	var cell string
+	if s.N > 1 {
+		cell = fmt.Sprintf("%.*f±%.*f (%.*f)", prec, s.Mean, prec, s.Stddev, prec, s.CI95)
+	} else {
+		cell = fmt.Sprintf("%.*f", prec, s.Mean)
+	}
+	return fmt.Sprintf("%*s", width, cell)
 }
 
 // renderBars prints the three headline metrics per scenario, the format

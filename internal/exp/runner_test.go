@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fleetExperiment is a small multi-scenario sweep for runner tests: big
+// enough to exercise drops and retransmissions, small enough to keep the
+// suite fast.
+func fleetExperiment() Experiment {
+	mk := func(name string, mut func(*Scenario)) Scenario {
+		s := Scenario{NumFlows: 150, Seed: 11}
+		s.Name = name
+		if mut != nil {
+			mut(&s)
+		}
+		return s
+	}
+	return Experiment{
+		ID:          "fleet-test",
+		Description: "runner determinism sweep",
+		Scenarios: []Scenario{
+			mk("IRN", nil),
+			mk("IRN+PFC", func(s *Scenario) { s.PFC = true }),
+			mk("RoCE+PFC", func(s *Scenario) { s.Transport = TransportRoCE; s.PFC = true }),
+		},
+	}
+}
+
+func TestFleetSerialParallelIdentical(t *testing.T) {
+	// The headline determinism contract: the same base seed produces
+	// bit-identical Results (and therefore aggregates) whether the fleet
+	// runs on one worker or eight.
+	e := fleetExperiment()
+	serial := RunFleet(e, FleetConfig{Parallel: 1, Trials: 3, BaseSeed: 7})
+	wide := RunFleet(e, FleetConfig{Parallel: 8, Trials: 3, BaseSeed: 7})
+	if !reflect.DeepEqual(serial.Trials, wide.Trials) {
+		t.Fatal("serial and parallel fleets diverged")
+	}
+	if !reflect.DeepEqual(serial.Aggregates(), wide.Aggregates()) {
+		t.Fatal("serial and parallel aggregates diverged")
+	}
+}
+
+func TestFleetMatchesSerialRunExperiment(t *testing.T) {
+	// With one trial and no base seed the fleet must reproduce a plain
+	// serial loop over Run exactly (preset seeds untouched).
+	e := fleetExperiment()
+	var want []Result
+	for _, s := range e.Scenarios {
+		want = append(want, Run(s))
+	}
+	got := RunExperiment(e)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("RunExperiment diverged from a serial Run loop")
+	}
+}
+
+func TestFleetTrialSeedsDistinct(t *testing.T) {
+	e := fleetExperiment()
+	fr := RunFleet(e, FleetConfig{Parallel: 4, Trials: 3, BaseSeed: 5})
+	seen := map[uint64]bool{}
+	for i, trials := range fr.Trials {
+		if len(trials) != 3 {
+			t.Fatalf("scenario %d: %d trials, want 3", i, len(trials))
+		}
+		for _, r := range trials {
+			if seen[r.Scenario.Seed] {
+				t.Errorf("duplicate derived seed %d", r.Scenario.Seed)
+			}
+			seen[r.Scenario.Seed] = true
+			if r.Summary.Flows == 0 {
+				t.Errorf("scenario %q completed no flows", r.Name)
+			}
+		}
+	}
+	// Different trials must actually perturb the workload.
+	a, b := fr.Trials[0][0], fr.Trials[0][1]
+	if a.AvgFCT == b.AvgFCT && a.Events == b.Events {
+		t.Error("distinct trial seeds produced identical runs")
+	}
+}
+
+func TestFleetFirstPreservesScenarioOrder(t *testing.T) {
+	e := fleetExperiment()
+	first := RunFleet(e, FleetConfig{Parallel: 8}).First()
+	if len(first) != len(e.Scenarios) {
+		t.Fatalf("First() = %d results, want %d", len(first), len(e.Scenarios))
+	}
+	for i, r := range first {
+		if r.Name != e.Scenarios[i].Name {
+			t.Errorf("result %d = %q, want %q", i, r.Name, e.Scenarios[i].Name)
+		}
+	}
+}
+
+func TestNewStat(t *testing.T) {
+	st := NewStat([]float64{2, 4, 6})
+	if st.N != 3 || st.Mean != 4 {
+		t.Errorf("mean = %v n = %d, want 4, 3", st.Mean, st.N)
+	}
+	if math.Abs(st.Stddev-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", st.Stddev)
+	}
+	wantCI := 1.96 * 2 / math.Sqrt(3)
+	if math.Abs(st.CI95-wantCI) > 1e-12 {
+		t.Errorf("ci95 = %v, want %v", st.CI95, wantCI)
+	}
+	if one := NewStat([]float64{5}); one.Mean != 5 || one.Stddev != 0 || one.CI95 != 0 {
+		t.Errorf("single-sample stat = %+v", one)
+	}
+	if zero := NewStat(nil); zero.N != 0 || zero.Mean != 0 {
+		t.Errorf("empty stat = %+v", zero)
+	}
+}
+
+func TestRenderAggregates(t *testing.T) {
+	e := Experiment{ID: "agg", Description: "d"}
+	aggs := []Aggregate{{
+		Name:        "IRN",
+		Trials:      3,
+		AvgSlowdown: NewStat([]float64{1, 2, 3}),
+		AvgFCTms:    NewStat([]float64{0.5, 0.6, 0.7}),
+		P99FCTms:    NewStat([]float64{5, 6, 7}),
+		Drops:       NewStat([]float64{10, 20, 30}),
+	}}
+	out := RenderAggregates(e, aggs)
+	for _, want := range []string{"=== agg", "3 trials", "avg_slowdown", "IRN", "±"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregate render missing %q:\n%s", want, out)
+		}
+	}
+
+	// Incast experiments lead with RCT, their headline metric.
+	aggs[0].RCTms = NewStat([]float64{3.1, 3.2, 3.3})
+	incast := RenderAggregates(Experiment{ID: "inc", Description: "d", Kind: ReportIncast}, aggs)
+	if !strings.Contains(incast, "rct_ms") || strings.Contains(incast, "avg_fct_ms") {
+		t.Errorf("incast aggregate render wrong columns:\n%s", incast)
+	}
+}

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRows() []Row {
+	return []Row{
+		{Exp: "fig1", Name: "IRN", Seed: 1, Flows: 100, AvgSlowdown: 1.5, AvgFCTms: 0.2, Drops: 3},
+		{Exp: "fig1", Name: "RoCE+PFC", Seed: 1, Flows: 100, AvgSlowdown: 2.5, AvgFCTms: 0.4, PauseFrames: 9},
+		{Exp: "fig9", Name: "IRN incast M=10", Seed: 10001, RCTms: 3.25, Events: 12345},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	// save → load → diff must be empty: the determinism contract the
+	// cross-run comparison workflow depends on.
+	st := NewStore()
+	for _, r := range testRows() {
+		st.Put(r)
+	}
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(st, loaded); len(d) != 0 {
+		t.Fatalf("round-trip diff not empty: %v", d)
+	}
+	if !reflect.DeepEqual(st.Rows(), loaded.Rows()) {
+		t.Fatal("round-trip rows differ")
+	}
+}
+
+func TestStorePutReplacesByKey(t *testing.T) {
+	st := NewStore()
+	r := testRows()[0]
+	st.Put(r)
+	r.AvgSlowdown = 9
+	st.Put(r)
+	if st.Len() != 1 {
+		t.Fatalf("len = %d, want 1", st.Len())
+	}
+	if got := st.Rows()[0].AvgSlowdown; got != 9 {
+		t.Errorf("replacement lost: avg_slowdown = %v", got)
+	}
+}
+
+func TestStoreMergeAndDiff(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	rows := testRows()
+	a.Put(rows[0])
+	a.Put(rows[1])
+	b.Put(rows[1])
+	changed := rows[0]
+	changed.AvgSlowdown += 1
+	b.Put(changed)
+	b.Put(rows[2])
+
+	diffs := Diff(a, b)
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %v, want metric change + extra row", diffs)
+	}
+
+	// Merge b into a: b wins on collisions, diff against b goes quiet.
+	if n := a.Merge(b); n != 3 {
+		t.Errorf("merged %d rows, want 3", n)
+	}
+	if d := Diff(a, b); len(d) != 0 {
+		t.Errorf("post-merge diff not empty: %v", d)
+	}
+}
+
+func TestStoreRestrict(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	rows := testRows()
+	for _, r := range rows {
+		a.Put(r)
+	}
+	b.Put(rows[1])
+	sub := a.Restrict(b)
+	if sub.Len() != 1 || sub.Rows()[0].Key() != rows[1].Key() {
+		t.Fatalf("Restrict = %v, want only %q", sub.Rows(), rows[1].Key())
+	}
+	// Diffing a partial rerun through Restrict is quiet when it matches.
+	if d := Diff(a.Restrict(b), b); len(d) != 0 {
+		t.Errorf("restricted diff not empty: %v", d)
+	}
+}
+
+func TestFingerprintSeparatesConfigs(t *testing.T) {
+	base := Scenario{NumFlows: 100, Seed: 1}
+	if Fingerprint(base) != Fingerprint(base) {
+		t.Fatal("fingerprint not stable")
+	}
+	variants := []Scenario{
+		{NumFlows: 200, Seed: 1},
+		{NumFlows: 100, Seed: 1, PFC: true},
+		{NumFlows: 100, Seed: 1, Transport: TransportRoCE},
+		{NumFlows: 100, Seed: 1, Load: 0.9},
+	}
+	for _, v := range variants {
+		if Fingerprint(v) == Fingerprint(base) {
+			t.Errorf("config %+v fingerprints like the base scenario", v)
+		}
+	}
+}
+
+func TestSaveMergedAccumulates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "acc.json")
+	rows := testRows()
+
+	first := NewStore()
+	first.Put(rows[0])
+	if n, err := first.SaveMerged(path); err != nil || n != 1 {
+		t.Fatalf("first SaveMerged = %d, %v", n, err)
+	}
+	second := NewStore()
+	second.Put(rows[1])
+	second.Put(rows[2])
+	if n, err := second.SaveMerged(path); err != nil || n != 3 {
+		t.Fatalf("second SaveMerged = %d, %v; want 3 accumulated rows", n, err)
+	}
+	loaded, err := LoadStore(path)
+	if err != nil || loaded.Len() != 3 {
+		t.Fatalf("loaded %d rows (%v), want 3", loaded.Len(), err)
+	}
+}
+
+func TestLoadOrNewStoreMissingFile(t *testing.T) {
+	st, err := LoadOrNewStore(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || st.Len() != 0 {
+		t.Fatalf("LoadOrNewStore = %v, %v; want empty store", st, err)
+	}
+}
+
+func TestStoreFleetRoundTrip(t *testing.T) {
+	// End-to-end: fleet run → store → save → load → diff empty, and a
+	// rerun of the same fleet persists to identical rows.
+	e := fleetExperiment()
+	cfg := FleetConfig{Parallel: 4, Trials: 2, BaseSeed: 3}
+
+	st := NewStore()
+	st.PutFleet(RunFleet(e, cfg))
+	if st.Len() != len(e.Scenarios)*cfg.Trials {
+		t.Fatalf("len = %d, want %d", st.Len(), len(e.Scenarios)*cfg.Trials)
+	}
+
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(st, loaded); len(d) != 0 {
+		t.Fatalf("round-trip diff not empty: %v", d)
+	}
+
+	rerun := NewStore()
+	rerun.PutFleet(RunFleet(e, cfg))
+	if d := Diff(loaded, rerun); len(d) != 0 {
+		t.Fatalf("rerun diff not empty: %v", d)
+	}
+}

@@ -34,6 +34,34 @@ func NewRNG(seed uint64) *RNG {
 // does not perturb unrelated random choices.
 func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }
 
+// DeriveSeed maps (base seed, label, trial) to a scenario seed. The fleet
+// runner uses it to give every scenario/trial pair of an experiment sweep
+// its own deterministic stream: the derivation depends only on the inputs
+// (FNV-1a over the label folded with splitmix64 steps), never on execution
+// order, so a sweep shards across any number of workers without changing
+// any run's randomness.
+func DeriveSeed(base uint64, label string, trial int) uint64 {
+	// FNV-1a over the label.
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	// Fold base, label hash and trial through splitmix64 finalizers.
+	x := base
+	for _, v := range [...]uint64{h, uint64(trial) + 1} {
+		x += v + 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	if x == 0 {
+		// Scenario.normalize treats seed 0 as "use the default"; avoid it.
+		x = 0x9e3779b97f4a7c15
+	}
+	return x
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

@@ -128,6 +128,30 @@ func TestRNGForkIndependence(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedStableAndDistinct(t *testing.T) {
+	// Stable: pure function of its inputs.
+	if DeriveSeed(1, "fig1/IRN", 0) != DeriveSeed(1, "fig1/IRN", 0) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	// Distinct across base seed, label, and trial.
+	seen := map[uint64]string{}
+	for _, base := range []uint64{0, 1, 42} {
+		for _, label := range []string{"", "IRN", "IRN with PFC", "RoCE+PFC incast M=10 rep=0"} {
+			for trial := 0; trial < 8; trial++ {
+				s := DeriveSeed(base, label, trial)
+				if s == 0 {
+					t.Errorf("DeriveSeed(%d, %q, %d) = 0 (reserved for defaults)", base, label, trial)
+				}
+				key := string(rune(trial)) + label
+				if prev, dup := seen[s]; dup {
+					t.Errorf("seed collision: (%d,%q,%d) and %q -> %d", base, label, trial, prev, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}
+
 func TestRNGShuffleIsPermutationProperty(t *testing.T) {
 	f := func(seed uint64, n uint8) bool {
 		size := int(n)%64 + 1
