@@ -308,6 +308,7 @@ func (e *nullEndpoint) Engine() *sim.Engine {
 	return e.eng
 }
 func (e *nullEndpoint) SendControl(*packet.Packet) {}
+func (e *nullEndpoint) Pool() *packet.Pool         { return nil }
 func (e *nullEndpoint) Wake()                      {}
 
 // ackFor builds the cumulative ACK completing pkt.

@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark record on stdout, so the repo's perf trajectory can be checked
+// in and diffed across PRs (see scripts/bench.sh, which writes the
+// sequence BENCH_1.json, BENCH_2.json, ...).
+//
+// Standard benchmark columns become ns_per_op / bytes_per_op /
+// allocs_per_op; every custom unit reported via b.ReportMetric (slowdowns,
+// FCT ratios, Mpps) lands in the per-benchmark "metrics" map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Row is one benchmark result.
+type Row struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is the whole run.
+type Record struct {
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Rows   []Row  `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the -N parallelism suffix go test appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	rec := Record{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rec.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rec.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if row, ok := parseRow(line); ok {
+				rec.Rows = append(rec.Rows, row)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rec.Rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}
+
+// parseRow decodes one result line: name, iteration count, then
+// (value, unit) pairs.
+func parseRow(line string) (Row, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Row{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Row{}, false
+	}
+	row := Row{
+		Name:       gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(f[0], "Benchmark"), ""),
+		Iterations: iters,
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			row.NsPerOp = v
+		case "B/op":
+			row.BytesPerOp = v
+		case "allocs/op":
+			row.AllocsPerOp = v
+		default:
+			if row.Metrics == nil {
+				row.Metrics = map[string]float64{}
+			}
+			row.Metrics[unit] = v
+		}
+	}
+	return row, true
+}

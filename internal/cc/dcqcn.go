@@ -66,6 +66,12 @@ type DCQCN struct {
 	Decreases uint64
 }
 
+// DCQCN sim.Handler event kinds: the two reaction-point timers.
+const (
+	dcqcnAlpha uint8 = iota // α-decay period elapsed without a CNP
+	dcqcnIncrease
+)
+
 // NewDCQCN returns a controller starting at line rate. The engine powers
 // the α-decay and rate-increase timers.
 func NewDCQCN(eng *sim.Engine, cfg DCQCNConfig) *DCQCN {
@@ -76,11 +82,20 @@ func NewDCQCN(eng *sim.Engine, cfg DCQCNConfig) *DCQCN {
 		rt:    cfg.LineRateGbps,
 		alpha: 1,
 	}
-	d.alphaTimer = sim.NewTimer(eng, d.alphaDecay)
-	d.incTimer = sim.NewTimer(eng, d.timerIncrease)
+	d.alphaTimer = sim.NewHandlerTimer(eng, d, dcqcnAlpha)
+	d.incTimer = sim.NewHandlerTimer(eng, d, dcqcnIncrease)
 	d.alphaTimer.Arm(cfg.AlphaTimer)
 	d.incTimer.Arm(cfg.IncreaseTimer)
 	return d
+}
+
+// HandleEvent implements sim.Handler: timer dispatch.
+func (d *DCQCN) HandleEvent(kind uint8, _ uint64) {
+	if kind == dcqcnAlpha {
+		d.alphaDecay()
+	} else {
+		d.timerIncrease()
+	}
 }
 
 // RateGbps exposes the current rate.

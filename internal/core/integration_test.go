@@ -379,7 +379,10 @@ func TestNackThresholdToleratesReordering(t *testing.T) {
 		snd := NewSender(net.NIC(0), flow, p, nil)
 		rcv := NewReceiver(net.NIC(1), flow, p, nil)
 		// Reorder by swapping delivery of every 20th packet with its
-		// successor: the sink sees ... 19, 21, 20, 22 ...
+		// successor: the sink sees ... 19, 21, 20, 22 ...  The held packet
+		// must be copied: the NIC returns the original to the fabric's
+		// packet pool as soon as HandleData returns, so retaining the
+		// pointer would alias a recycled packet.
 		var held *packet.Packet
 		swapper := sinkFunc2(func(pkt *packet.Packet, now sim.Time) {
 			switch {
@@ -388,7 +391,8 @@ func TestNackThresholdToleratesReordering(t *testing.T) {
 				rcv.HandleData(held, now)
 				held = nil
 			case pkt.PSN%20 == 19 && !pkt.Last:
-				held = pkt
+				cp := *pkt
+				held = &cp
 			default:
 				rcv.HandleData(pkt, now)
 			}

@@ -23,6 +23,7 @@ import (
 // CNPs, rate-limited to one per 50 µs per flow.
 type Receiver struct {
 	ep   transport.Endpoint
+	pool *packet.Pool
 	flow *transport.Flow
 	p    Params
 
@@ -47,6 +48,7 @@ func NewReceiver(ep transport.Endpoint, flow *transport.Flow, p Params, onComple
 	}
 	r := &Receiver{
 		ep:         ep,
+		pool:       ep.Pool(),
 		flow:       flow,
 		p:          p,
 		total:      flow.Pkts,
@@ -72,7 +74,7 @@ func (r *Receiver) HandleData(pkt *packet.Packet, now sim.Time) {
 	// DCQCN notification point.
 	if pkt.CE && r.cnp.OnMarked(now) {
 		r.CNPs++
-		r.ep.SendControl(packet.NewCNP(pkt.Flow, r.flow.Dst, r.flow.Src))
+		r.ep.SendControl(r.pool.NewCNP(pkt.Flow, r.flow.Dst, r.flow.Src))
 	}
 
 	switch {
@@ -128,7 +130,7 @@ func (r *Receiver) deliverInOrder(pkt *packet.Packet, now sim.Time) {
 // sendAck emits a cumulative ACK echoing the triggering packet's
 // timestamp and congestion marking.
 func (r *Receiver) sendAck(trigger *packet.Packet, _ sim.Time) {
-	ack := packet.NewAck(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected)
+	ack := r.pool.NewAck(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected)
 	ack.AckedSentAt = trigger.SentAt
 	ack.ECNEcho = trigger.CE
 	r.Acks++
@@ -138,7 +140,7 @@ func (r *Receiver) sendAck(trigger *packet.Packet, _ sim.Time) {
 // sendNack emits an IRN NACK: cumulative ack plus the PSN that triggered
 // it (the simplified SACK).
 func (r *Receiver) sendNack(trigger *packet.Packet, _ sim.Time) {
-	n := packet.NewNack(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected, trigger.PSN)
+	n := r.pool.NewNack(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected, trigger.PSN)
 	n.AckedSentAt = trigger.SentAt
 	n.ECNEcho = trigger.CE
 	r.Nacks++

@@ -20,6 +20,7 @@ import (
 // the first retransmission.
 type Sender struct {
 	ep   transport.Endpoint
+	pool *packet.Pool
 	flow *transport.Flow
 	p    Params
 	cc   transport.Controller
@@ -67,6 +68,7 @@ func NewSender(ep transport.Endpoint, flow *transport.Flow, p Params, ctrl trans
 	}
 	s := &Sender{
 		ep:    ep,
+		pool:  ep.Pool(),
 		flow:  flow,
 		p:     p,
 		cc:    ctrl,
@@ -80,9 +82,15 @@ func NewSender(ep transport.Endpoint, flow *transport.Flow, p Params, ctrl trans
 		capPkts = s.total // uncapped window: bitmap must cover the message
 	}
 	s.acked = bitmap.New(capPkts + 1)
-	s.rto = sim.NewTimer(ep.Engine(), s.onTimeout)
+	s.rto = sim.NewHandlerTimer(ep.Engine(), s, senderRTO)
 	return s
 }
+
+// senderRTO is the Sender's only sim.Handler event kind: RTO expiry.
+const senderRTO uint8 = 0
+
+// HandleEvent implements sim.Handler (the retransmission timer).
+func (s *Sender) HandleEvent(uint8, uint64) { s.onTimeout() }
 
 // Flow implements transport.Source.
 func (s *Sender) Flow() *transport.Flow { return s.flow }
@@ -190,7 +198,7 @@ func (s *Sender) NextPacket(now sim.Time) *packet.Packet {
 	}
 
 	payload := transport.PayloadOf(s.flow.Size, s.p.MTU, int(psn))
-	pkt := packet.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, psn, payload, int(psn) == s.total-1)
+	pkt := s.pool.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, psn, payload, int(psn) == s.total-1)
 	pkt.Wire += s.p.ExtraHeaderBytes
 	pkt.ECT = s.p.ECT
 	pkt.SentAt = now

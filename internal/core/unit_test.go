@@ -18,6 +18,7 @@ type stubEP struct {
 func newStubEP() *stubEP { return &stubEP{eng: sim.NewEngine()} }
 
 func (e *stubEP) Now() sim.Time                  { return e.eng.Now() }
+func (e *stubEP) Pool() *packet.Pool             { return nil }
 func (e *stubEP) Engine() *sim.Engine            { return e.eng }
 func (e *stubEP) SendControl(pkt *packet.Packet) { e.sent = append(e.sent, pkt) }
 func (e *stubEP) Wake()                          { e.wakes++ }

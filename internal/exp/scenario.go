@@ -306,19 +306,22 @@ func Run(s Scenario) Result {
 		})...)
 	}
 
-	var col metrics.Collector
-	flows := make([]*transport.Flow, len(specs))
-	stats := make([]senderStats, len(specs))
-	remaining := len(specs)
+	l := &launcher{
+		s:           s,
+		eng:         eng,
+		net:         net,
+		bdpCap:      bdpCap,
+		minRTT:      sim.Duration(2*top.LongestPathHops()) * (s.Prop + rate.Serialize(s.MTU+packet.DataHeader)),
+		specs:       specs,
+		flows:       make([]*transport.Flow, len(specs)),
+		stats:       make([]senderStats, len(specs)),
+		remaining:   len(specs),
+		incastFlows: incastFlows,
+	}
+
 	var lastArrival sim.Time
-	var incastDone sim.Time
-
-	minRTT := sim.Duration(2*top.LongestPathHops()) * (s.Prop + rate.Serialize(s.MTU+packet.DataHeader))
-
 	for i, spec := range specs {
-		spec := spec
-		idx := i
-		fl := &transport.Flow{
+		l.flows[i] = &transport.Flow{
 			ID:    packet.FlowID(i + 1),
 			Src:   spec.Src,
 			Dst:   spec.Dst,
@@ -326,80 +329,10 @@ func Run(s Scenario) Result {
 			Pkts:  transport.NumPackets(spec.Size, s.MTU),
 			Start: spec.Start,
 		}
-		flows[i] = fl
 		if spec.Start > lastArrival {
 			lastArrival = spec.Start
 		}
-		isIncast := i < incastFlows
-
-		onDone := func(now sim.Time) {
-			fct := now.Sub(spec.Start)
-			col.Add(metrics.FlowRecord{
-				Size:         spec.Size,
-				Pkts:         fl.Pkts,
-				FCT:          fct,
-				Ideal:        net.IdealFCT(spec.Src, spec.Dst, spec.Size),
-				SinglePacket: fl.Pkts == 1,
-			})
-			if isIncast && now > incastDone {
-				incastDone = now
-			}
-			remaining--
-			if remaining == 0 {
-				eng.Stop()
-			}
-		}
-
-		eng.Schedule(spec.Start, func() {
-			ctrl := buildCC(eng, s, bdpCap, minRTT)
-			switch s.Transport {
-			case TransportIRN:
-				p := core.Params{
-					MTU:              s.MTU,
-					BDPCap:           bdpCap,
-					Recovery:         s.Recovery,
-					RTOLow:           s.RTOLow,
-					RTOHigh:          s.RTOHigh,
-					RTOLowThreshold:  s.RTOLowN,
-					DynamicRTO:       s.DynamicRTO,
-					NackThreshold:    s.NackThreshold,
-					BackoffOnLoss:    s.BackoffOnLoss || s.CC == CCAIMD || s.CC == CCDCTCP,
-					RetxFetchDelay:   s.RetxFetchDelay,
-					ExtraHeaderBytes: s.ExtraHeader,
-					ECT:              s.CC == CCDCQCN || s.CC == CCDCTCP,
-				}
-				if s.NoBDPFC {
-					p.BDPCap = 0
-				}
-				snd := core.NewSender(net.NIC(spec.Src), fl, p, ctrl)
-				rcv := core.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
-				net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
-				net.NIC(spec.Src).AttachSource(snd)
-				stats[idx] = irnStats{snd}
-
-			case TransportRoCE:
-				p := rocev2.Params{
-					MTU:            s.MTU,
-					RTOHigh:        s.RTOHigh,
-					DisableTimeout: s.PFC,
-					PerPacketAck:   s.CC == CCTimely,
-					ECT:            s.CC == CCDCQCN,
-				}
-				snd := rocev2.NewSender(net.NIC(spec.Src), fl, p, ctrl)
-				rcv := rocev2.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
-				net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
-				net.NIC(spec.Src).AttachSource(snd)
-				stats[idx] = roceStats{snd, rcv}
-
-			case TransportTCP:
-				p := tcpstack.DefaultParams(s.MTU)
-				snd := tcpstack.NewSender(net.NIC(spec.Src), fl, p)
-				rcv := tcpstack.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
-				net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
-				net.NIC(spec.Src).AttachSource(snd)
-				stats[idx] = tcpStats{snd}
-			}
-		})
+		eng.ScheduleEvent(spec.Start, l, 0, uint64(i))
 	}
 
 	eng.RunUntil(lastArrival.Add(s.Grace))
@@ -407,23 +340,121 @@ func Run(s Scenario) Result {
 	res := Result{
 		Name:     s.Name,
 		Scenario: s,
-		RCT:      sim.Duration(incastDone),
+		RCT:      sim.Duration(l.incastDone),
 		Net:      net.Stats,
 		Events:   eng.Executed(),
 		SimTime:  eng.Now(),
 	}
-	for i, fl := range flows {
+	for i, fl := range l.flows {
 		if !fl.Finished {
-			col.AddIncomplete()
+			l.col.AddIncomplete()
 		}
-		if st := stats[i]; st != nil {
+		if st := l.stats[i]; st != nil {
 			res.Retransmits += st.retransmits()
 			res.Timeouts += st.timeouts()
 		}
 	}
-	res.Summary = col.Summarize()
-	res.SinglePktCDF = col.SinglePacketTail([]float64{90, 95, 99, 99.9})
+	res.Summary = l.col.Summarize()
+	res.SinglePktCDF = l.col.SinglePacketTail([]float64{90, 95, 99, 99.9})
 	return res
+}
+
+// launcher wires each flow's transport at its arrival time. It is a
+// sim.Handler (arg = flow index), so scheduling a thousand flow arrivals
+// costs no closures; each flow's completion callback remains a closure
+// created once at flow start.
+type launcher struct {
+	s      Scenario
+	eng    *sim.Engine
+	net    *fabric.Network
+	bdpCap int
+	minRTT sim.Duration
+
+	specs       []workload.Spec
+	flows       []*transport.Flow
+	stats       []senderStats
+	col         metrics.Collector
+	remaining   int
+	incastFlows int
+	incastDone  sim.Time
+}
+
+// HandleEvent implements sim.Handler: flow arg arrives.
+func (l *launcher) HandleEvent(_ uint8, arg uint64) { l.start(int(arg)) }
+
+// start attaches flow i's sender and receiver to their NICs.
+func (l *launcher) start(i int) {
+	s := l.s
+	spec := l.specs[i]
+	fl := l.flows[i]
+	net := l.net
+	isIncast := i < l.incastFlows
+
+	onDone := func(now sim.Time) {
+		l.col.Add(metrics.FlowRecord{
+			Size:         spec.Size,
+			Pkts:         fl.Pkts,
+			FCT:          now.Sub(spec.Start),
+			Ideal:        net.IdealFCT(spec.Src, spec.Dst, spec.Size),
+			SinglePacket: fl.Pkts == 1,
+		})
+		if isIncast && now > l.incastDone {
+			l.incastDone = now
+		}
+		l.remaining--
+		if l.remaining == 0 {
+			l.eng.Stop()
+		}
+	}
+
+	ctrl := buildCC(l.eng, s, l.bdpCap, l.minRTT)
+	switch s.Transport {
+	case TransportIRN:
+		p := core.Params{
+			MTU:              s.MTU,
+			BDPCap:           l.bdpCap,
+			Recovery:         s.Recovery,
+			RTOLow:           s.RTOLow,
+			RTOHigh:          s.RTOHigh,
+			RTOLowThreshold:  s.RTOLowN,
+			DynamicRTO:       s.DynamicRTO,
+			NackThreshold:    s.NackThreshold,
+			BackoffOnLoss:    s.BackoffOnLoss || s.CC == CCAIMD || s.CC == CCDCTCP,
+			RetxFetchDelay:   s.RetxFetchDelay,
+			ExtraHeaderBytes: s.ExtraHeader,
+			ECT:              s.CC == CCDCQCN || s.CC == CCDCTCP,
+		}
+		if s.NoBDPFC {
+			p.BDPCap = 0
+		}
+		snd := core.NewSender(net.NIC(spec.Src), fl, p, ctrl)
+		rcv := core.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
+		net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
+		net.NIC(spec.Src).AttachSource(snd)
+		l.stats[i] = irnStats{snd}
+
+	case TransportRoCE:
+		p := rocev2.Params{
+			MTU:            s.MTU,
+			RTOHigh:        s.RTOHigh,
+			DisableTimeout: s.PFC,
+			PerPacketAck:   s.CC == CCTimely,
+			ECT:            s.CC == CCDCQCN,
+		}
+		snd := rocev2.NewSender(net.NIC(spec.Src), fl, p, ctrl)
+		rcv := rocev2.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
+		net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
+		net.NIC(spec.Src).AttachSource(snd)
+		l.stats[i] = roceStats{snd, rcv}
+
+	case TransportTCP:
+		p := tcpstack.DefaultParams(s.MTU)
+		snd := tcpstack.NewSender(net.NIC(spec.Src), fl, p)
+		rcv := tcpstack.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
+		net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
+		net.NIC(spec.Src).AttachSource(snd)
+		l.stats[i] = tcpStats{snd}
+	}
 }
 
 // buildCC constructs the per-flow congestion controller.

@@ -24,6 +24,7 @@ type Network struct {
 	nics     []*NIC // indexed by host NodeID
 	switches []*Switch
 	rng      *sim.RNG
+	pool     *packet.Pool
 
 	Stats Stats
 }
@@ -39,6 +40,7 @@ func New(eng *sim.Engine, t topo.Topology, cfg Config) *Network {
 		Topo: t,
 		Cfg:  cfg,
 		rng:  sim.NewRNG(cfg.Seed ^ 0xfab51c),
+		pool: packet.NewPool(),
 	}
 
 	nodes := t.Nodes()
@@ -104,14 +106,32 @@ func (net *Network) NIC(h packet.NodeID) *NIC {
 	return net.nics[h]
 }
 
+// Pool returns the fabric's per-engine packet free-list.
+func (net *Network) Pool() *packet.Pool { return net.pool }
+
+// netPFC is the Network's only sim.Handler event kind: a PFC frame
+// arriving at its target. The argument packs (from, to, pause) — see
+// sendPFC — so no frame object or closure exists per pause/resume.
+const netPFC uint8 = 0
+
 // sendPFC delivers a PFC frame from a switch to neighbor `to`. PFC frames
 // are link-local flow control below the packet queues: they are modelled
 // as arriving one propagation delay after generation, without competing
 // for queue space. The configured headroom absorbs the data still in
 // flight during that delay plus the packet being serialized.
 func (net *Network) sendPFC(from, to packet.NodeID, pause bool) {
-	target := net.nodes[to]
-	net.Eng.After(net.Cfg.Prop, func() { target.pfcFrame(from, pause) })
+	arg := uint64(uint32(from))<<33 | uint64(uint32(to))<<1
+	if pause {
+		arg |= 1
+	}
+	net.Eng.AfterEvent(net.Cfg.Prop, net, netPFC, arg)
+}
+
+// HandleEvent implements sim.Handler: PFC frame arrival.
+func (net *Network) HandleEvent(_ uint8, arg uint64) {
+	from := packet.NodeID(int32(arg >> 33))
+	to := packet.NodeID(int32(arg >> 1 & 0xffffffff))
+	net.nodes[to].pfcFrame(from, arg&1 != 0)
 }
 
 // markECN samples the RED marking decision for an egress backlog of

@@ -35,6 +35,10 @@ type NIC struct {
 	Stray uint64
 }
 
+// nicWake is the NIC's only sim.Handler event kind: the egress wake-up
+// timer expiring.
+const nicWake uint8 = 0
+
 func newNIC(id packet.NodeID, net *Network) *NIC {
 	n := &NIC{
 		id:        id,
@@ -42,9 +46,12 @@ func newNIC(id packet.NodeID, net *Network) *NIC {
 		srcByFlow: make(map[packet.FlowID]transport.Source),
 		sinks:     make(map[packet.FlowID]transport.Sink),
 	}
-	n.wake = sim.NewTimer(net.Eng, func() { n.egress.kick() })
+	n.wake = sim.NewHandlerTimer(net.Eng, n, nicWake)
 	return n
 }
+
+// HandleEvent implements sim.Handler: the wake timer fired.
+func (n *NIC) HandleEvent(uint8, uint64) { n.egress.kick() }
 
 // ID returns the host node ID.
 func (n *NIC) ID() packet.NodeID { return n.id }
@@ -54,6 +61,9 @@ func (n *NIC) Now() sim.Time { return n.net.Eng.Now() }
 
 // Engine implements transport.Endpoint.
 func (n *NIC) Engine() *sim.Engine { return n.net.Eng }
+
+// Pool implements transport.Endpoint: the fabric's packet free-list.
+func (n *NIC) Pool() *packet.Pool { return n.net.pool }
 
 // SendControl implements transport.Endpoint: queues a control packet with
 // strict priority on the egress port.
@@ -148,7 +158,11 @@ func (n *NIC) reap() {
 	}
 }
 
-// receive handles a packet arriving from the fabric.
+// receive handles a packet arriving from the fabric. Delivery is where
+// packets die: once the transport handler returns, the packet goes back to
+// the pool. Transports therefore must not retain the *Packet past
+// HandleData/HandleControl — they read the fields they need and emit fresh
+// control packets instead, which every transport in this repo does.
 func (n *NIC) receive(pkt *packet.Packet, _ packet.NodeID) {
 	now := n.net.Eng.Now()
 	switch pkt.Type {
@@ -170,6 +184,7 @@ func (n *NIC) receive(pkt *packet.Packet, _ packet.NodeID) {
 	default:
 		n.Stray++
 	}
+	n.net.pool.Release(pkt)
 }
 
 // pfcFrame pauses or resumes the NIC egress (PFC asserted by the edge

@@ -1,0 +1,117 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
+	"github.com/irnsim/irn/internal/transport"
+)
+
+// TestPktQueueShrinksAfterBurst: a VOQ that absorbed an incast burst must
+// not pin its peak backing array for the rest of the run.
+func TestPktQueueShrinksAfterBurst(t *testing.T) {
+	var q pktQueue
+	const burst = 16384
+	for i := 0; i < burst; i++ {
+		q.push(packet.NewData(1, 0, 1, packet.PSN(i), 100, false))
+	}
+	peak := cap(q.buf)
+	if peak < burst {
+		t.Fatalf("burst did not grow the queue: cap=%d", peak)
+	}
+	for i := 0; i < burst; i++ {
+		if q.pop() == nil {
+			t.Fatalf("queue drained early at %d", i)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty after drain: len=%d", q.len())
+	}
+	if cap(q.buf) > shrinkMinCap {
+		t.Fatalf("drained queue still pins cap=%d (peak %d), want <= %d", cap(q.buf), peak, shrinkMinCap)
+	}
+}
+
+// TestPktQueueShrinkPreservesFIFO: shrinking must never reorder or lose
+// packets while the queue stays partially full.
+func TestPktQueueShrinkPreservesFIFO(t *testing.T) {
+	var q pktQueue
+	next := 0   // next PSN to push
+	expect := 0 // next PSN expected from pop
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			q.push(packet.NewData(1, 0, 1, packet.PSN(next), 100, false))
+			next++
+		}
+	}
+	pop := func(n int) {
+		for i := 0; i < n; i++ {
+			p := q.pop()
+			if p == nil || p.PSN != packet.PSN(expect) {
+				t.Fatalf("pop = %v, want PSN %d", p, expect)
+			}
+			expect++
+		}
+	}
+	push(10000) // burst
+	pop(9900)   // drain most of it — triggers compaction + shrink
+	push(50)    // steady trickle across the shrunk buffer
+	pop(150)
+	if !q.empty() || q.bytes != 0 {
+		t.Fatalf("queue should be empty: len=%d bytes=%d", q.len(), q.bytes)
+	}
+}
+
+// pooledBlaster is a blaster that draws its packets from the fabric's
+// pool, as the real transports do.
+type pooledBlaster struct {
+	pool *packet.Pool
+	flow *transport.Flow
+	mtu  int
+	sent int
+}
+
+func (b *pooledBlaster) Flow() *transport.Flow                  { return b.flow }
+func (b *pooledBlaster) HasData(sim.Time) (bool, sim.Time)      { return b.sent < b.flow.Pkts, 0 }
+func (b *pooledBlaster) HandleControl(*packet.Packet, sim.Time) {}
+func (b *pooledBlaster) Done() bool                             { return b.sent >= b.flow.Pkts }
+
+func (b *pooledBlaster) NextPacket(now sim.Time) *packet.Packet {
+	p := b.pool.NewData(b.flow.ID, b.flow.Src, b.flow.Dst, packet.PSN(b.sent), b.mtu, b.sent == b.flow.Pkts-1)
+	p.SentAt = now
+	b.sent++
+	return p
+}
+
+// TestFabricSteadyStateReusesPackets: after warm-up, the fabric serves
+// its packet churn from the pool. The flow below delivers thousands of
+// packets while only a link's worth can be alive at once, so heap
+// allocations must stay a small fraction of deliveries.
+func TestFabricSteadyStateReusesPackets(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, topo.NewStar(2), testConfig())
+	const pkts = 4000
+	src := &pooledBlaster{
+		pool: net.Pool(),
+		flow: &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: pkts * 1000, Pkts: pkts},
+		mtu:  1000,
+	}
+	rec := &recorder{}
+	net.NIC(1).AttachSink(1, rec)
+	net.NIC(0).AttachSource(src)
+	eng.Run()
+
+	pool := net.Pool()
+	if got := net.Stats.Delivered; got < pkts {
+		t.Fatalf("delivered %d, want >= %d", got, pkts)
+	}
+	if pool.Allocs > pkts/4 {
+		t.Fatalf("pool heap-allocated %d packets for %d deliveries; free-list reuse is broken (reuses=%d)",
+			pool.Allocs, net.Stats.Delivered, pool.Reuses)
+	}
+	if pool.Reuses == 0 {
+		t.Fatal("pool never reused a packet")
+	}
+}

@@ -5,6 +5,12 @@ import (
 	"github.com/irnsim/irn/internal/sim"
 )
 
+// outPort event kinds (sim.Handler dispatch).
+const (
+	portTxDone  uint8 = iota // last byte left the transmitter
+	portDeliver              // last byte arrived at the peer
+)
+
 // outPort serializes packets onto one unidirectional link. Both switch
 // output ports and NIC egress ports are outPorts; they differ only in the
 // source callback that supplies the next packet.
@@ -13,6 +19,14 @@ import (
 // picoseconds (serialization), then arrives at the peer after the
 // propagation delay. Store-and-forward: the next hop sees the packet only
 // after its last byte arrives.
+//
+// The port is a sim.Handler: serialization-done and arrival are typed
+// events, so steady-state forwarding schedules nothing on the heap. The
+// packet riding each event lives in the port's in-flight FIFO rather than
+// a closure: serialization is strictly ordered and the propagation delay
+// is constant per link, so packets arrive in exactly the order they were
+// queued — popping the ring head at each portDeliver event is equivalent
+// to capturing the packet per event, without the capture.
 type outPort struct {
 	eng  *sim.Engine
 	rate Rate
@@ -23,6 +37,10 @@ type outPort struct {
 	source func() *packet.Packet
 	// deliver hands a packet to the remote end; called at arrival time.
 	deliver func(*packet.Packet)
+
+	// inflight holds packets between transmission start and arrival at
+	// the peer: the tail is serializing, earlier entries are propagating.
+	inflight pktRing
 
 	busy   bool
 	paused bool // PFC X-OFF received from downstream
@@ -40,14 +58,22 @@ func (o *outPort) kick() {
 		return
 	}
 	o.busy = true
-	ser := o.rate.Serialize(pkt.Wire)
-	o.eng.After(ser, func() {
+	o.inflight.push(pkt)
+	o.eng.AfterEvent(o.rate.Serialize(pkt.Wire), o, portTxDone, 0)
+}
+
+// HandleEvent implements sim.Handler: port timing events.
+func (o *outPort) HandleEvent(kind uint8, _ uint64) {
+	switch kind {
+	case portTxDone:
 		o.busy = false
 		// Arrival at the peer is one propagation delay after the last
 		// byte leaves.
-		o.eng.After(o.prop, func() { o.deliver(pkt) })
+		o.eng.AfterEvent(o.prop, o, portDeliver, 0)
 		o.kick()
-	})
+	case portDeliver:
+		o.deliver(o.inflight.pop())
+	}
 }
 
 // pause handles a PFC X-OFF: the packet currently being serialized
@@ -62,4 +88,39 @@ func (o *outPort) resume() {
 	}
 	o.paused = false
 	o.kick()
+}
+
+// pktRing is a small FIFO ring of packets that grows on demand and never
+// allocates afterwards. A link holds at most ceil(prop/serialization)+1
+// packets in flight, so rings stay tiny; the zero value is ready for use.
+type pktRing struct {
+	buf  []*packet.Packet
+	head int
+	n    int
+}
+
+// push appends p to the tail.
+func (r *pktRing) push(p *packet.Packet) {
+	if r.n == len(r.buf) {
+		grown := make([]*packet.Packet, max(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+// pop removes and returns the head, or nil if empty.
+func (r *pktRing) pop() *packet.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
 }

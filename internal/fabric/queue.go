@@ -32,9 +32,24 @@ func (q *pktQueue) pop() *packet.Packet {
 		n := copy(q.buf, q.buf[q.head:])
 		q.buf = q.buf[:n]
 		q.head = 0
+		// In-place compaction pins the backing array at its high-water
+		// capacity forever: one incast burst through a VOQ would hold its
+		// peak footprint for the rest of the run (across every VOQ of
+		// every switch). Once capacity greatly exceeds the live length,
+		// reallocate small and let the burst-sized array go to GC.
+		if cap(q.buf) > shrinkMinCap && cap(q.buf) > 4*n {
+			shrunk := make([]*packet.Packet, n, max(n, shrinkMinCap))
+			copy(shrunk, q.buf)
+			q.buf = shrunk
+		}
 	}
 	return p
 }
+
+// shrinkMinCap is both the capacity floor below which pop never shrinks a
+// queue (avoiding realloc churn at normal depths) and the capacity a
+// shrunk queue restarts from.
+const shrinkMinCap = 1024
 
 // peek returns the head packet without removing it.
 func (q *pktQueue) peek() *packet.Packet {

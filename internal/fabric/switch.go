@@ -79,9 +79,11 @@ func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
 	inIdx := s.portOf[from]
 	cfg := &s.net.Cfg
 
-	// Injected losses (tests, failure-injection experiments).
+	// Injected losses (tests, failure-injection experiments). A drop is
+	// a packet death: the packet returns to the pool right here.
 	if cfg.LossInject != nil && cfg.LossInject(pkt) {
 		s.net.Stats.Drops++
+		s.net.pool.Release(pkt)
 		return
 	}
 
@@ -92,10 +94,12 @@ func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
 	if cfg.SharedBuffer {
 		if s.shared+pkt.Wire > cfg.BufferBytes*len(s.in) {
 			s.net.Stats.Drops++
+			s.net.pool.Release(pkt)
 			return
 		}
 	} else if s.in[inIdx].bytes+pkt.Wire > cfg.BufferBytes {
 		s.net.Stats.Drops++
+		s.net.pool.Release(pkt)
 		return
 	}
 

@@ -84,9 +84,11 @@ const (
 )
 
 // Packet is a unit of transmission in the fabric. One struct covers all
-// packet types; unused fields are zero. Packets are allocated per
-// transmission and never mutated after send, except for the CE (ECN
-// congestion-experienced) bit which switches set in flight.
+// packet types; unused fields are zero. Packets are obtained from a
+// per-engine Pool at transmission and returned to it where they die
+// (delivery at the destination NIC, a switch drop); they are never mutated
+// after send, except for the CE (ECN congestion-experienced) bit which
+// switches set in flight.
 type Packet struct {
 	Type Type
 	Flow FlowID
@@ -135,6 +137,12 @@ type Packet struct {
 	// PauseClass is reserved for PFC frames; this model pauses the
 	// whole link (a single priority class), as does the paper.
 	PauseClass uint8
+
+	// pooled marks a packet currently sitting in a Pool's free list; it
+	// exists only to catch lifecycle bugs (double release, use after
+	// release via a stale constructor) deterministically instead of as
+	// silent state corruption.
+	pooled bool
 }
 
 // IsControl reports whether the packet is a transport control packet
@@ -163,9 +171,82 @@ func (p *Packet) String() string {
 	}
 }
 
+// Pool is a free-list of Packets owned by one simulation engine. Every
+// constructor (NewData/NewAck/NewNack/NewCNP) draws from it and Release
+// returns dead packets to it, so a warmed-up simulation allocates no
+// packets at all.
+//
+// The pool is deliberately NOT a sync.Pool: the simulator is
+// single-threaded per engine (the fleet runner shards whole scenarios, one
+// engine each, across workers), and a plain LIFO slice keeps both the
+// reuse order and the resulting pointer graph fully deterministic, which
+// the serial ≡ parallel bit-identical-results invariant depends on.
+// sync.Pool's per-P caches and GC-driven eviction would make reuse order
+// scheduler-dependent and defeat the determinism tests.
+//
+// All methods are nil-receiver safe: a nil *Pool degrades to plain heap
+// allocation with Release as a no-op, which is what the package-level
+// constructors (unit tests, microbenchmarks, the verbs examples) use.
+type Pool struct {
+	free []*Packet
+
+	// Stats.
+	Allocs   uint64 // packets newly heap-allocated
+	Reuses   uint64 // packets served from the free list
+	Releases uint64 // packets returned to the free list
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// get returns a zeroed packet, reusing a released one when possible.
+func (p *Pool) get() *Packet {
+	if p == nil {
+		return &Packet{}
+	}
+	if n := len(p.free); n > 0 {
+		pkt := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.Reuses++
+		pkt.pooled = false
+		return pkt
+	}
+	p.Allocs++
+	return &Packet{}
+}
+
+// Release returns a dead packet to the free list. Call it exactly once,
+// at the point the packet leaves the simulation: delivery to the
+// destination host's transport, or a drop at a switch. Releasing the same
+// packet twice panics — the aliasing it would create corrupts simulation
+// state in ways that are far harder to debug than a crash. Release on a
+// nil pool (or of a nil packet) is a no-op, so unpooled packets from the
+// package-level constructors may flow through the same code paths.
+func (p *Pool) Release(pkt *Packet) {
+	if p == nil || pkt == nil {
+		return
+	}
+	if pkt.pooled {
+		panic("packet: double release into pool")
+	}
+	*pkt = Packet{pooled: true}
+	p.free = append(p.free, pkt)
+	p.Releases++
+}
+
+// FreeLen reports how many packets sit in the free list (diagnostics).
+func (p *Pool) FreeLen() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}
+
 // NewData builds a data packet with standard RoCEv2 overheads.
-func NewData(flow FlowID, src, dst NodeID, psn PSN, payload int, last bool) *Packet {
-	return &Packet{
+func (p *Pool) NewData(flow FlowID, src, dst NodeID, psn PSN, payload int, last bool) *Packet {
+	pkt := p.get()
+	*pkt = Packet{
 		Type:    TypeData,
 		Flow:    flow,
 		Src:     src,
@@ -175,11 +256,13 @@ func NewData(flow FlowID, src, dst NodeID, psn PSN, payload int, last bool) *Pac
 		Wire:    payload + DataHeader,
 		Last:    last,
 	}
+	return pkt
 }
 
 // NewAck builds a cumulative ACK.
-func NewAck(flow FlowID, src, dst NodeID, cum PSN) *Packet {
-	return &Packet{
+func (p *Pool) NewAck(flow FlowID, src, dst NodeID, cum PSN) *Packet {
+	pkt := p.get()
+	*pkt = Packet{
 		Type:   TypeAck,
 		Flow:   flow,
 		Src:    src,
@@ -187,12 +270,14 @@ func NewAck(flow FlowID, src, dst NodeID, cum PSN) *Packet {
 		CumAck: cum,
 		Wire:   ControlFrame,
 	}
+	return pkt
 }
 
 // NewNack builds an IRN NACK carrying both the cumulative acknowledgement
 // and the PSN of the out-of-order arrival that triggered it.
-func NewNack(flow FlowID, src, dst NodeID, cum, sack PSN) *Packet {
-	return &Packet{
+func (p *Pool) NewNack(flow FlowID, src, dst NodeID, cum, sack PSN) *Packet {
+	pkt := p.get()
+	*pkt = Packet{
 		Type:    TypeNack,
 		Flow:    flow,
 		Src:     src,
@@ -201,9 +286,37 @@ func NewNack(flow FlowID, src, dst NodeID, cum, sack PSN) *Packet {
 		SackPSN: sack,
 		Wire:    ControlFrame,
 	}
+	return pkt
 }
 
 // NewCNP builds a DCQCN congestion notification packet.
+func (p *Pool) NewCNP(flow FlowID, src, dst NodeID) *Packet {
+	pkt := p.get()
+	*pkt = Packet{Type: TypeCNP, Flow: flow, Src: src, Dst: dst, Wire: ControlFrame}
+	return pkt
+}
+
+// nilPool backs the package-level constructors: plain heap allocation.
+var nilPool *Pool
+
+// NewData builds an unpooled data packet with standard RoCEv2 overheads.
+func NewData(flow FlowID, src, dst NodeID, psn PSN, payload int, last bool) *Packet {
+	return nilPool.NewData(flow, src, dst, psn, payload, last)
+}
+
+// NewAck builds an unpooled cumulative ACK.
+func NewAck(flow FlowID, src, dst NodeID, cum PSN) *Packet {
+	return nilPool.NewAck(flow, src, dst, cum)
+}
+
+// NewNack builds an unpooled IRN NACK carrying both the cumulative
+// acknowledgement and the PSN of the out-of-order arrival that triggered
+// it.
+func NewNack(flow FlowID, src, dst NodeID, cum, sack PSN) *Packet {
+	return nilPool.NewNack(flow, src, dst, cum, sack)
+}
+
+// NewCNP builds an unpooled DCQCN congestion notification packet.
 func NewCNP(flow FlowID, src, dst NodeID) *Packet {
-	return &Packet{Type: TypeCNP, Flow: flow, Src: src, Dst: dst, Wire: ControlFrame}
+	return nilPool.NewCNP(flow, src, dst)
 }

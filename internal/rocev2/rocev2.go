@@ -59,6 +59,7 @@ type SenderStats struct {
 // Sender is the RoCE go-back-N sender. It implements transport.Source.
 type Sender struct {
 	ep   transport.Endpoint
+	pool *packet.Pool
 	flow *transport.Flow
 	p    Params
 	cc   transport.Controller
@@ -87,10 +88,17 @@ func NewSender(ep transport.Endpoint, flow *transport.Flow, p Params, ctrl trans
 	if flow.Pkts == 0 {
 		flow.Pkts = transport.NumPackets(flow.Size, p.MTU)
 	}
-	s := &Sender{ep: ep, flow: flow, p: p, cc: ctrl, total: flow.Pkts}
-	s.probe = sim.NewTimer(ep.Engine(), s.onProbe)
+	s := &Sender{ep: ep, pool: ep.Pool(), flow: flow, p: p, cc: ctrl, total: flow.Pkts}
+	s.probe = sim.NewHandlerTimer(ep.Engine(), s, senderProbe)
 	return s
 }
+
+// senderProbe is the Sender's only sim.Handler event kind: the completion
+// probe timer.
+const senderProbe uint8 = 0
+
+// HandleEvent implements sim.Handler (the probe timer).
+func (s *Sender) HandleEvent(uint8, uint64) { s.onProbe() }
 
 // onProbe fires when the completion ACK has not arrived long after the
 // last packet went out: rewind by one packet so the receiver re-announces
@@ -143,7 +151,7 @@ func (s *Sender) NextPacket(now sim.Time) *packet.Packet {
 		s.highest = psn + 1
 	}
 	payload := transport.PayloadOf(s.flow.Size, s.p.MTU, int(psn))
-	pkt := packet.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, psn, payload, int(psn) == s.total-1)
+	pkt := s.pool.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, psn, payload, int(psn) == s.total-1)
 	pkt.ECT = s.p.ECT
 	pkt.SentAt = now
 	s.Stats.Sent++
@@ -209,6 +217,7 @@ func (s *Sender) finish() {
 // stall — the Read re-request).
 type Receiver struct {
 	ep   transport.Endpoint
+	pool *packet.Pool
 	flow *transport.Flow
 	p    Params
 
@@ -233,18 +242,26 @@ func NewReceiver(ep transport.Endpoint, flow *transport.Flow, p Params, onComple
 	}
 	r := &Receiver{
 		ep:         ep,
+		pool:       ep.Pool(),
 		flow:       flow,
 		p:          p,
 		total:      flow.Pkts,
 		onComplete: onComplete,
 		cnp:        cc.NewCNPGenerator(),
 	}
-	r.rto = sim.NewTimer(ep.Engine(), r.onTimeout)
+	r.rto = sim.NewHandlerTimer(ep.Engine(), r, receiverRTO)
 	if !p.DisableTimeout {
 		r.rto.Arm(p.RTOHigh)
 	}
 	return r
 }
+
+// receiverRTO is the Receiver's only sim.Handler event kind: the stall
+// timer (the Read re-request).
+const receiverRTO uint8 = 0
+
+// HandleEvent implements sim.Handler (the stall timer).
+func (r *Receiver) HandleEvent(uint8, uint64) { r.onTimeout() }
 
 // Expected returns the next expected PSN.
 func (r *Receiver) Expected() packet.PSN { return r.expected }
@@ -252,7 +269,7 @@ func (r *Receiver) Expected() packet.PSN { return r.expected }
 // HandleData implements transport.Sink.
 func (r *Receiver) HandleData(pkt *packet.Packet, now sim.Time) {
 	if pkt.CE && r.cnp.OnMarked(now) {
-		r.ep.SendControl(packet.NewCNP(pkt.Flow, r.flow.Dst, r.flow.Src))
+		r.ep.SendControl(r.pool.NewCNP(pkt.Flow, r.flow.Dst, r.flow.Src))
 	}
 	if !r.p.DisableTimeout && !r.complete {
 		r.rto.Arm(r.p.RTOHigh) // any arrival is progress; reset the stall timer
@@ -270,7 +287,7 @@ func (r *Receiver) HandleData(pkt *packet.Packet, now sim.Time) {
 		r.expected++
 		r.nackedFor = 0
 		if r.p.PerPacketAck && !r.complete && r.expected < packet.PSN(r.total) {
-			ack := packet.NewAck(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected)
+			ack := r.pool.NewAck(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected)
 			ack.AckedSentAt = pkt.SentAt
 			ack.ECNEcho = pkt.CE
 			r.ep.SendControl(ack)
@@ -285,7 +302,7 @@ func (r *Receiver) HandleData(pkt *packet.Packet, now sim.Time) {
 		if r.nackedFor != r.expected+1 {
 			r.nackedFor = r.expected + 1
 			r.Nacks++
-			n := packet.NewNack(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected, pkt.PSN)
+			n := r.pool.NewNack(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected, pkt.PSN)
 			n.AckedSentAt = pkt.SentAt
 			r.ep.SendControl(n)
 		}
@@ -300,7 +317,7 @@ func (r *Receiver) onTimeout() {
 	}
 	r.TimeoutNacks++
 	r.nackedFor = r.expected + 1
-	r.ep.SendControl(packet.NewNack(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected, r.expected))
+	r.ep.SendControl(r.pool.NewNack(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected, r.expected))
 	r.rto.Arm(r.p.RTOHigh)
 }
 
@@ -318,7 +335,7 @@ func (r *Receiver) finish(last *packet.Packet, now sim.Time) {
 
 // sendCompletion acknowledges the whole message.
 func (r *Receiver) sendCompletion(trigger *packet.Packet) {
-	ack := packet.NewAck(r.flow.ID, r.flow.Dst, r.flow.Src, packet.PSN(r.total))
+	ack := r.pool.NewAck(r.flow.ID, r.flow.Dst, r.flow.Src, packet.PSN(r.total))
 	ack.AckedSentAt = trigger.SentAt
 	ack.ECNEcho = trigger.CE
 	r.ep.SendControl(ack)

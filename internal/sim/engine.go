@@ -1,12 +1,32 @@
 package sim
 
+// Handler receives typed events from the engine's closure-free scheduling
+// path. One object typically serves several event kinds (a port's
+// "serialization done" and "arrival", a congestion controller's two
+// timers); kind discriminates them and arg carries a small payload (a
+// generation counter, an index, packed node IDs). Kind values are private
+// to each Handler implementation.
+type Handler interface {
+	HandleEvent(kind uint8, arg uint64)
+}
+
 // Event is a scheduled callback. Events with equal firing times run in
 // scheduling order (FIFO), which the sequence number enforces; this is what
 // makes runs reproducible regardless of heap internals.
+//
+// An event fires through exactly one of two paths: the typed handler path
+// (h != nil), which allocates nothing, or the legacy closure path (fn).
+// Steady-state simulation traffic — port serialization and delivery, timer
+// ticks, PFC frames, transport timeouts — runs entirely on the typed path;
+// closures remain for one-shot setup work (flow arrivals in tests and
+// examples) where an allocation per event is harmless.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	h    Handler
+	fn   func()
+	arg  uint64
+	kind uint8
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
@@ -44,7 +64,8 @@ func (h *eventHeap) pop() event {
 	n := len(q) - 1
 	top := q[0]
 	q[0] = q[n]
-	q[n].fn = nil // release closure for GC
+	q[n].fn = nil // release closure and handler for GC
+	q[n].h = nil
 	q = q[:n]
 	*h = q
 	// Sift down.
@@ -96,13 +117,34 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending reports how many events are scheduled but not yet run.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// Schedule runs fn at absolute time at. Scheduling in the past (before the
-// current clock) panics: it always indicates a model bug, and silently
-// reordering time corrupts results in ways that are very hard to debug.
-func (e *Engine) Schedule(at Time, fn func()) {
+// checkTime panics on scheduling in the past (before the current clock):
+// it always indicates a model bug, and silently reordering time corrupts
+// results in ways that are very hard to debug.
+func (e *Engine) checkTime(at Time) {
 	if at < e.now {
 		panic("sim: scheduling event in the past")
 	}
+}
+
+// ScheduleEvent runs h.HandleEvent(kind, arg) at absolute time at. This is
+// the hot path: it performs no allocation beyond amortized growth of the
+// event heap's backing array, which a warmed-up simulation never touches.
+func (e *Engine) ScheduleEvent(at Time, h Handler, kind uint8, arg uint64) {
+	e.checkTime(at)
+	e.seq++
+	e.queue.push(event{at: at, seq: e.seq, h: h, kind: kind, arg: arg})
+}
+
+// AfterEvent runs h.HandleEvent(kind, arg) d after the current time.
+func (e *Engine) AfterEvent(d Duration, h Handler, kind uint8, arg uint64) {
+	e.ScheduleEvent(e.now.Add(d), h, kind, arg)
+}
+
+// Schedule runs fn at absolute time at. This is the legacy closure path,
+// kept for setup work and tests; each call allocates the closure. Hot
+// callers use ScheduleEvent.
+func (e *Engine) Schedule(at Time, fn func()) {
+	e.checkTime(at)
 	e.seq++
 	e.queue.push(event{at: at, seq: e.seq, fn: fn})
 }
@@ -138,7 +180,11 @@ func (e *Engine) step() {
 	ev := e.queue.pop()
 	e.now = ev.at
 	e.executed++
-	ev.fn()
+	if ev.h != nil {
+		ev.h.HandleEvent(ev.kind, ev.arg)
+	} else {
+		ev.fn()
+	}
 }
 
 // Stop halts Run/RunUntil after the current event completes. Pending events
@@ -154,9 +200,17 @@ func (e *Engine) Stop() { e.stopped = true }
 // fires, checks the live deadline and reschedules itself if the deadline
 // moved. This keeps the event queue proportional to the number of timers,
 // not the number of arms.
+//
+// The timer's engine event rides the typed-handler path (the Timer is its
+// own Handler, with the generation counter as the event argument), so
+// arming and re-arming never allocate. The fire target is either a typed
+// (Handler, kind) pair — NewHandlerTimer, the allocation-free form — or a
+// plain func() for convenience.
 type Timer struct {
 	eng      *Engine
 	fn       func()
+	h        Handler // fire target when fn is nil
+	kind     uint8
 	deadline Time
 	armed    bool
 	pending  bool   // an engine event is queued for this timer
@@ -168,6 +222,13 @@ type Timer struct {
 // unarmed.
 func NewTimer(eng *Engine, fn func()) *Timer {
 	return &Timer{eng: eng, fn: fn}
+}
+
+// NewHandlerTimer creates a timer that invokes h.HandleEvent(kind, 0) when
+// it fires, avoiding even the one-time closure allocation of NewTimer.
+// The timer starts unarmed.
+func NewHandlerTimer(eng *Engine, h Handler, kind uint8) *Timer {
+	return &Timer{eng: eng, h: h, kind: kind}
 }
 
 // Arm (re)schedules the timer to fire d from now, replacing any previous
@@ -189,9 +250,12 @@ func (t *Timer) scheduleAt(at Time) {
 	t.pending = true
 	t.pendAt = at
 	t.pendGen++
-	gen := t.pendGen
-	t.eng.Schedule(at, func() { t.tick(gen) })
+	t.eng.ScheduleEvent(at, t, 0, t.pendGen)
 }
+
+// HandleEvent implements Handler: the queued engine event. arg is the
+// generation the event was scheduled under.
+func (t *Timer) HandleEvent(_ uint8, arg uint64) { t.tick(arg) }
 
 // tick is the queued engine event: fire, reschedule, or lapse.
 func (t *Timer) tick(gen uint64) {
@@ -207,7 +271,11 @@ func (t *Timer) tick(gen uint64) {
 		return
 	}
 	t.armed = false
-	t.fn()
+	if t.fn != nil {
+		t.fn()
+	} else {
+		t.h.HandleEvent(t.kind, 0)
+	}
 }
 
 // Cancel disarms the timer. Safe to call when unarmed. The pending engine

@@ -67,6 +67,7 @@ type SenderStats struct {
 // Sender is the TCP sender. It implements transport.Source.
 type Sender struct {
 	ep   transport.Endpoint
+	pool *packet.Pool
 	flow *transport.Flow
 	p    Params
 
@@ -110,6 +111,7 @@ func NewSender(ep transport.Endpoint, flow *transport.Flow, p Params) *Sender {
 	}
 	s := &Sender{
 		ep:       ep,
+		pool:     ep.Pool(),
 		flow:     flow,
 		p:        p,
 		total:    flow.Pkts,
@@ -117,9 +119,15 @@ func NewSender(ep transport.Endpoint, flow *transport.Flow, p Params) *Sender {
 		ssthresh: 1 << 30, // slow start until the first loss
 	}
 	s.sacked = bitmap.New(minInt(s.total, 1<<16) + 1)
-	s.rto = sim.NewTimer(ep.Engine(), s.onTimeout)
+	s.rto = sim.NewHandlerTimer(ep.Engine(), s, senderRTO)
 	return s
 }
+
+// senderRTO is the Sender's only sim.Handler event kind: RTO expiry.
+const senderRTO uint8 = 0
+
+// HandleEvent implements sim.Handler (the retransmission timer).
+func (s *Sender) HandleEvent(uint8, uint64) { s.onTimeout() }
 
 func minInt(a, b int) int {
 	if a < b {
@@ -208,7 +216,7 @@ func (s *Sender) NextPacket(now sim.Time) *packet.Packet {
 		return nil
 	}
 	payload := transport.PayloadOf(s.flow.Size, s.p.MTU, int(psn))
-	pkt := packet.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, psn, payload, int(psn) == s.total-1)
+	pkt := s.pool.NewData(s.flow.ID, s.flow.Src, s.flow.Dst, psn, payload, int(psn) == s.total-1)
 	pkt.ECT = s.p.ECT
 	pkt.SentAt = now
 	s.Stats.Sent++
@@ -369,6 +377,7 @@ func (s *Sender) updateRTT(rtt sim.Duration) {
 // carrying SACK information for gaps. It implements transport.Sink.
 type Receiver struct {
 	ep   transport.Endpoint
+	pool *packet.Pool
 	flow *transport.Flow
 	p    Params
 
@@ -390,6 +399,7 @@ func NewReceiver(ep transport.Endpoint, flow *transport.Flow, p Params, onComple
 	}
 	r := &Receiver{
 		ep:         ep,
+		pool:       ep.Pool(),
 		flow:       flow,
 		p:          p,
 		total:      flow.Pkts,
@@ -439,7 +449,7 @@ func (r *Receiver) HandleData(pkt *packet.Packet, now sim.Time) {
 // ack emits a cumulative ACK; sack != 0 marks it as a duplicate ACK
 // carrying selective-acknowledgement information.
 func (r *Receiver) ack(trigger *packet.Packet, sack packet.PSN) {
-	a := packet.NewAck(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected)
+	a := r.pool.NewAck(r.flow.ID, r.flow.Dst, r.flow.Src, r.expected)
 	a.SackPSN = sack
 	a.AckedSentAt = trigger.SentAt
 	a.ECNEcho = trigger.CE

@@ -152,6 +152,7 @@ type stubEP struct {
 }
 
 func (e *stubEP) Now() sim.Time                  { return e.eng.Now() }
+func (e *stubEP) Pool() *packet.Pool             { return nil }
 func (e *stubEP) Engine() *sim.Engine            { return e.eng }
 func (e *stubEP) SendControl(pkt *packet.Packet) { e.sent = append(e.sent, pkt) }
 func (e *stubEP) Wake()                          {}

@@ -72,6 +72,11 @@ type Endpoint interface {
 	// Wake tells the NIC egress scheduler that a source may have become
 	// ready (window opened, pacing expired, recovery entered).
 	Wake()
+	// Pool returns the engine's packet free-list; transports route all
+	// packet construction through it so steady-state traffic allocates
+	// nothing. A nil pool is legal (unit tests, microbenchmarks) and
+	// degrades to plain heap allocation.
+	Pool() *packet.Pool
 }
 
 // Source is the sender half of a transport attached to a NIC.

@@ -193,9 +193,30 @@ func NewQP(name string, eng *sim.Engine, cfg Config, wire Wire, mem *Memory, cq 
 		rtxSack:  bitmap.New(4096),
 	}
 	q.recvQ = newRecvQueue()
-	q.timer = sim.NewTimer(eng, q.onTimeout)
-	q.rTimer = sim.NewTimer(eng, q.onReadTimeout)
+	q.timer = sim.NewHandlerTimer(eng, q, qpTimer)
+	q.rTimer = sim.NewHandlerTimer(eng, q, qpReadTimer)
 	return q
+}
+
+// QP sim.Handler event kinds.
+const (
+	qpTimer     uint8 = iota // request retransmission timer
+	qpReadTimer              // read-response retransmission timer
+	qpRNRResume              // RNR backoff elapsed (arg = rnrUntil generation)
+)
+
+// HandleEvent implements sim.Handler: timer and RNR-resume dispatch.
+func (q *QP) HandleEvent(kind uint8, arg uint64) {
+	switch kind {
+	case qpTimer:
+		q.onTimeout()
+	case qpReadTimer:
+		q.onReadTimeout()
+	case qpRNRResume:
+		if q.rnrUntil == sim.Time(arg) {
+			q.pump()
+		}
+	}
 }
 
 // UseSRQ attaches a shared receive queue (Appendix B.2). The QP keeps

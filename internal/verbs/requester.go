@@ -42,12 +42,7 @@ func (q *QP) onAck(p *VPacket, nack bool, now sim.Time) {
 			q.rnrUntil = now.Add(q.cfg.RNRDelay)
 			q.enterRecovery()
 			q.retxNext = q.txCum
-			gen := q.rnrUntil
-			q.eng.Schedule(q.rnrUntil, func() {
-				if q.rnrUntil == gen {
-					q.pump()
-				}
-			})
+			q.eng.ScheduleEvent(q.rnrUntil, q, qpRNRResume, uint64(q.rnrUntil))
 			return
 		default:
 			if p.SackPSN >= q.txCum {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# bench.sh — record the repo's perf trajectory.
+#
+# Runs the BenchmarkFig* suite with -benchmem and writes BENCH_<n>.json at
+# the repo root, where <n> is one past the highest checked-in baseline.
+# Compare runs with e.g.:
+#
+#   jq -r '.benchmarks[] | [.name, .ns_per_op, .allocs_per_op] | @tsv' BENCH_1.json
+#
+# Environment:
+#   BENCH_PATTERN  benchmark regex   (default: ^BenchmarkFig)
+#   BENCH_TIME     -benchtime value  (default: 1x — each Fig preset is a
+#                  full deterministic experiment, so one iteration is a
+#                  meaningful, reproducible sample)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n=1
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+out="BENCH_${n}.json"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "${BENCH_PATTERN:-^BenchmarkFig}" \
+    -benchtime "${BENCH_TIME:-1x}" -benchmem . | tee "$raw"
+
+go run ./cmd/benchjson <"$raw" >"$out"
+echo "wrote $out"
