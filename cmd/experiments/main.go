@@ -9,6 +9,9 @@
 //	experiments -seed 42 -out r.json   # reseeded sweep persisted as JSON
 //	experiments -diff old.json         # compare against a previous run
 //	experiments -flows 10000           # closer to paper-scale (slower)
+//	experiments -run figloss,figflap   # fault-injection robustness sweeps
+//	experiments -run fig1 -fault-loss 0.001
+//	                                   # overlay 0.1% random loss on fig1
 //	experiments -list                  # enumerate experiment ids
 //
 // Results persisted with -out are keyed by experiment id + scenario label
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"github.com/irnsim/irn/internal/exp"
+	"github.com/irnsim/irn/internal/fault"
 )
 
 func main() {
@@ -40,6 +44,9 @@ func main() {
 		out      = flag.String("out", "", "persist results as JSON (merging into an existing file)")
 		diffPath = flag.String("diff", "", "diff results against a previously saved JSON file")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+
+		faultLoss    = flag.Float64("fault-loss", 0, "overlay a per-link random loss rate on every scenario")
+		faultCorrupt = flag.Float64("fault-corrupt", 0, "overlay a per-link corruption rate on every scenario")
 	)
 	flag.Parse()
 
@@ -63,6 +70,29 @@ func main() {
 				os.Exit(2)
 			}
 			selected = append(selected, e)
+		}
+	}
+
+	overlay := fault.Spec{LossRate: *faultLoss, CorruptRate: *faultCorrupt}
+	if err := overlay.Validate(0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Overlay CLI fault rates on every selected scenario: ad-hoc
+	// robustness runs of any figure without a dedicated preset. Scenarios
+	// that already set an axis (the figloss sweep) keep their own values —
+	// overwriting them would run a different sweep than the labels claim.
+	if *faultLoss > 0 || *faultCorrupt > 0 {
+		for ei := range selected {
+			for si := range selected[ei].Scenarios {
+				s := &selected[ei].Scenarios[si]
+				if s.Faults.LossRate == 0 {
+					s.Faults.LossRate = *faultLoss
+				}
+				if s.Faults.CorruptRate == 0 {
+					s.Faults.CorruptRate = *faultCorrupt
+				}
+			}
 		}
 	}
 

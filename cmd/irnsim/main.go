@@ -11,6 +11,9 @@
 //	irnsim -transport irn -incast 30
 //	irnsim -transport irn -recovery gbn           # Figure 7 ablation
 //	irnsim -trials 5 -parallel 5 -out runs.json   # seed sweep, persisted
+//	irnsim -fault-loss 0.001                      # 0.1% random per-link loss
+//	irnsim -flap-links 8 -flap-down-us 400        # transient link failures
+//	irnsim -degrade-links 8 -degrade-factor 0.25  # links at quarter speed
 package main
 
 import (
@@ -22,7 +25,9 @@ import (
 
 	"github.com/irnsim/irn/internal/core"
 	"github.com/irnsim/irn/internal/exp"
+	"github.com/irnsim/irn/internal/fault"
 	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
 )
 
 func main() {
@@ -44,6 +49,15 @@ func main() {
 		trials    = flag.Int("trials", 1, "repeat the scenario under derived seeds")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trial workers")
 		out       = flag.String("out", "", "persist results as JSON (merging into an existing file)")
+
+		faultLoss     = flag.Float64("fault-loss", 0, "per-link random loss rate (0-1)")
+		faultCorrupt  = flag.Float64("fault-corrupt", 0, "per-link corruption rate (0-1)")
+		flapLinks     = flag.Int("flap-links", 0, "number of fabric links that flap")
+		flapDownUs    = flag.Int("flap-down-us", 400, "flap down time in µs")
+		flapEveryUs   = flag.Int("flap-every-us", 800, "flap period in µs")
+		flapCount     = flag.Int("flap-count", 3, "flaps per chosen link")
+		degradeLinks  = flag.Int("degrade-links", 0, "number of fabric links running degraded")
+		degradeFactor = flag.Float64("degrade-factor", 0.25, "degraded links' bandwidth fraction (0-1]")
 	)
 	flag.Parse()
 
@@ -109,6 +123,36 @@ func main() {
 		s.ExtraHeader = 16
 	}
 
+	// Reject malformed fault flags as usage errors rather than panics
+	// from a fleet worker. Rates are validated before anything else —
+	// Spec.Enabled would treat a negative (sign-typo) rate as "no
+	// faults" and silently ignore it.
+	s.Faults.LossRate = *faultLoss
+	s.Faults.CorruptRate = *faultCorrupt
+	if err := s.Faults.Validate(0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *flapLinks > 0 || *degradeLinks > 0 {
+		t := topo.NewFatTree(*arity)
+		if *flapLinks > 0 {
+			s.Faults.Flaps = fault.PeriodicFlaps(t, *flapLinks,
+				sim.Time(100*sim.Microsecond),
+				sim.Duration(*flapEveryUs)*sim.Microsecond,
+				sim.Duration(*flapDownUs)*sim.Microsecond,
+				*flapCount, *seed)
+		}
+		if *degradeLinks > 0 {
+			s.Faults.Degrades = fault.DegradeLinks(t, *degradeLinks, 0, 0, *degradeFactor, *seed)
+		}
+		// Catches a zero degrade factor and overlapping flap windows
+		// (e.g. -flap-down-us longer than -flap-every-us).
+		if err := s.Faults.Validate(len(t.Links())); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	// Persisted rows are keyed partly by name; describe the scenario
 	// rather than labelling every run "cli".
 	s.Name = *transport
@@ -120,6 +164,10 @@ func main() {
 	}
 	if *incast > 0 {
 		s.Name += fmt.Sprintf(" incast M=%d", *incast)
+	}
+	if s.Faults.Enabled() {
+		s.Name += fmt.Sprintf(" faults[loss=%g corrupt=%g flaps=%d degraded=%d]",
+			*faultLoss, *faultCorrupt, *flapLinks, *degradeLinks)
 	}
 
 	e := exp.Experiment{ID: "irnsim", Description: "single-scenario CLI run", Scenarios: []exp.Scenario{s}}
@@ -160,6 +208,9 @@ func main() {
 		}
 		fmt.Printf("flows          %d completed, %d incomplete\n", r.Summary.Flows, r.Summary.Incomplete)
 		fmt.Printf("fabric         drops=%d pauses=%d ecn_marked=%d\n", r.Net.Drops, r.Net.PauseFrames, r.Net.ECNMarked)
+		if r.Net.FaultDrops+r.Net.Corrupted > 0 {
+			fmt.Printf("faults         lost=%d corrupted=%d\n", r.Net.FaultDrops, r.Net.Corrupted)
+		}
 		fmt.Printf("transport      retransmits=%d timeouts=%d\n", r.Retransmits, r.Timeouts)
 	}
 

@@ -117,6 +117,41 @@ func TestTrendIncastComparable(t *testing.T) {
 	}
 }
 
+func TestTrendLossSweepIRNRobustRoCECollapses(t *testing.T) {
+	// The extended paper's robustness result (FigureLoss acceptance): as
+	// random loss grows to 1%, IRN's SACK recovery keeps goodput — FCTs
+	// degrade gently — while RoCE's go-back-N collapses, even with PFC.
+	lossy := func(tr Transport, pfc bool, rate float64) Result {
+		return Run(trendScenario(func(s *Scenario) {
+			s.Transport = tr
+			s.PFC = pfc
+			s.Faults.LossRate = rate
+		}))
+	}
+	irn0 := Run(trendScenario(nil))
+	irn1 := lossy(TransportIRN, false, 0.01)
+	roce1 := lossy(TransportRoCE, true, 0.01)
+
+	if irn1.Summary.Incomplete != 0 {
+		t.Errorf("IRN left %d flows incomplete at 1%% loss", irn1.Summary.Incomplete)
+	}
+	// IRN retains goodput: bounded degradation versus the lossless run.
+	if irn1.AvgFCT > 4*irn0.AvgFCT {
+		t.Errorf("IRN avg FCT at 1%% loss %v > 4x lossless %v", irn1.AvgFCT, irn0.AvgFCT)
+	}
+	// RoCE collapses: go-back-N rewinds entire windows per loss.
+	if roce1.AvgFCT < 3*irn1.AvgFCT {
+		t.Errorf("RoCE+PFC avg FCT %v !>= 3x IRN %v at 1%% loss", roce1.AvgFCT, irn1.AvgFCT)
+	}
+	if roce1.Retransmits < 10*irn1.Retransmits {
+		t.Errorf("RoCE retransmits %d !>= 10x IRN %d at 1%% loss", roce1.Retransmits, irn1.Retransmits)
+	}
+	// The losses really came from the fault model, not congestion.
+	if roce1.Net.FaultDrops == 0 || irn1.Net.FaultDrops == 0 {
+		t.Errorf("fault drops: roce=%d irn=%d, want > 0", roce1.Net.FaultDrops, irn1.Net.FaultDrops)
+	}
+}
+
 func TestScenarioDeterminism(t *testing.T) {
 	a := Run(trendScenario(nil))
 	b := Run(trendScenario(nil))

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"github.com/irnsim/irn/internal/core"
+	"github.com/irnsim/irn/internal/fault"
 	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
 )
 
 // Experiment groups the scenario variants that regenerate one figure or
@@ -27,6 +29,7 @@ const (
 	ReportRatios                   // appendix-style ratio tables
 	ReportCDF                      // Figure 8 tail CDFs
 	ReportIncast                   // Figure 9 RCT ratios
+	ReportFlap                     // FigureFlap RCT-vs-flapped-links series
 )
 
 // Scale globally adjusts experiment size: the number of Poisson flows per
@@ -230,6 +233,86 @@ func Figure9(sc Scale) Experiment {
 				}),
 			)
 		}
+	}
+	return e
+}
+
+// LossRates is the random per-link loss sweep of the extended paper's
+// robustness appendix (arXiv:1806.08159): 0.001% to 1%.
+var LossRates = []float64{0.00001, 0.0001, 0.001, 0.01}
+
+// FigureLoss sweeps a uniform random per-link loss rate, IRN (no PFC)
+// against RoCE (with PFC), reproducing the robustness table of the
+// extended paper: IRN's SACK recovery retransmits only what was lost, so
+// goodput holds as the rate grows; RoCE's go-back-N rewinds the whole
+// in-flight window on every loss and collapses. PFC does not protect RoCE
+// here — these losses are not congestion.
+func FigureLoss(sc Scale) Experiment {
+	e := Experiment{ID: "figloss", Description: "Robustness to random packet loss (IRN vs RoCE+PFC, loss 0.001%-1%)"}
+	for _, rate := range LossRates {
+		rate := rate
+		label := fmt.Sprintf("loss=%g%%", rate*100)
+		e.Scenarios = append(e.Scenarios,
+			named(base(sc), "RoCE+PFC "+label, func(s *Scenario) {
+				s.Transport = TransportRoCE
+				s.PFC = true
+				s.Faults.LossRate = rate
+			}),
+			named(base(sc), "IRN "+label, func(s *Scenario) {
+				s.Transport = TransportIRN
+				s.Faults.LossRate = rate
+			}),
+		)
+	}
+	return e
+}
+
+// flapSeed fixes the flap-link choice across the FigureFlap sweep so every
+// scenario pair fails the same links.
+const flapSeed = 2718
+
+// FigureFlap sweeps transient link failures under incast with background
+// load: n fabric links flap (400 µs down, three times, 800 µs apart)
+// while an M=30 incast runs over a 50%-load Poisson workload. IRN drops
+// the in-flight packets of a failed link and selectively retransmits them
+// over the rerouted path; RoCE+PFC turns each failed port into a PFC
+// back-pressure tree while go-back-N rewinds entire windows for the
+// packets that died on the wire.
+func FigureFlap(sc Scale) Experiment {
+	e := Experiment{ID: "figflap", Description: "Robustness to link flaps under incast (IRN vs RoCE+PFC)", Kind: ReportFlap}
+	// Flap link indexes are compiled against this topology, so the
+	// scenarios pin Arity to it explicitly: a drifted default would
+	// silently remap the indexes onto different links.
+	const flapArity = 6
+	t := topo.NewFatTree(flapArity)
+	for _, n := range []int{0, 8, 16, 32} {
+		flaps := fault.PeriodicFlaps(t, n,
+			sim.Time(100*sim.Microsecond), 800*sim.Microsecond, 400*sim.Microsecond, 3, flapSeed)
+		mk := func(name string, mut func(*Scenario)) Scenario {
+			return named(Scenario{
+				Arity:       flapArity,
+				IncastM:     30,
+				IncastBytes: sc.IncastBytes,
+				NumFlows:    sc.Flows / 2,
+				Load:        0.5,
+				Seed:        7,
+				Faults:      fault.Spec{Flaps: flaps},
+				// Keep the transport config identical across the sweep:
+				// without this the flaps=0 baseline would run RoCE with
+				// timeouts disabled while every faulted point enables
+				// them, confounding the series.
+				RoCETimeouts: true,
+			}, name, mut)
+		}
+		e.Scenarios = append(e.Scenarios,
+			mk(fmt.Sprintf("RoCE+PFC incast flaps=%d", n), func(s *Scenario) {
+				s.Transport = TransportRoCE
+				s.PFC = true
+			}),
+			mk(fmt.Sprintf("IRN incast flaps=%d", n), func(s *Scenario) {
+				s.Transport = TransportIRN
+			}),
+		)
 	}
 	return e
 }
@@ -502,7 +585,8 @@ func All(sc Scale) []Experiment {
 	return []Experiment{
 		Figure1(sc), Figure2(sc), Figure3(sc), Figure4(sc), Figure5(sc),
 		Figure6(sc), Figure7(sc), Figure8(sc), Figure9(sc), Figure10(sc),
-		Figure11(sc), Figure12(sc), IncastCrossTraffic(sc), WindowCC(sc),
+		Figure11(sc), Figure12(sc), FigureLoss(sc), FigureFlap(sc),
+		IncastCrossTraffic(sc), WindowCC(sc),
 		TableA3(sc), TableA4(sc), TableA5(sc), TableA6(sc), TableA7(sc),
 		TableA8(sc), TableA9(sc), Ablations(sc), Reordering(sc),
 	}

@@ -28,6 +28,8 @@ func Render(e Experiment, results []Result) string {
 		renderIncast(&b, results)
 	case ReportRatios:
 		renderRatios(&b, results)
+	case ReportFlap:
+		renderFlap(&b, results)
 	default:
 		renderBars(&b, results)
 	}
@@ -45,9 +47,10 @@ func RenderAggregates(e Experiment, aggs []Aggregate) string {
 	}
 	trials := aggs[0].Trials
 	fmt.Fprintf(&b, "%d trials per scenario; mean ± stddev (95%% CI half-width)\n", trials)
-	if e.Kind == ReportIncast {
-		// Incast experiments are judged on request completion time; the
-		// FCT columns would be empty or meaningless for them.
+	if e.Kind == ReportIncast || e.Kind == ReportFlap {
+		// Incast-style experiments (including the flap sweep, which runs
+		// an incast per scenario) are judged on request completion time;
+		// scenario names carry the fan-in or flapped-link count.
 		fmt.Fprintf(&b, "%-42s %24s %22s %16s\n",
 			"scenario", "rct_ms", "avg_slowdown", "drops")
 		for _, a := range aggs {
@@ -84,14 +87,78 @@ func formatStat(s Stat, width, prec int) string {
 }
 
 // renderBars prints the three headline metrics per scenario, the format
-// of Figures 1-7 and 10-12.
+// of Figures 1-7 and 10-12. The faultdrops column (injected losses plus
+// corruption) appears only when some scenario injects faults.
 func renderBars(b *strings.Builder, results []Result) {
-	fmt.Fprintf(b, "%-42s %14s %14s %14s %10s %10s\n",
-		"scenario", "avg_slowdown", "avg_fct_ms", "p99_fct_ms", "drops", "incomplete")
+	faults := false
 	for _, r := range results {
-		fmt.Fprintf(b, "%-42s %14.2f %14.4f %14.4f %10d %10d\n",
+		if r.Net.FaultDrops+r.Net.Corrupted > 0 {
+			faults = true
+			break
+		}
+	}
+	fmt.Fprintf(b, "%-42s %14s %14s %14s %10s %10s",
+		"scenario", "avg_slowdown", "avg_fct_ms", "p99_fct_ms", "drops", "incomplete")
+	if faults {
+		fmt.Fprintf(b, " %10s", "faultdrops")
+	}
+	fmt.Fprintln(b)
+	for _, r := range results {
+		fmt.Fprintf(b, "%-42s %14.2f %14.4f %14.4f %10d %10d",
 			r.Name, r.AvgSlowdown, r.AvgFCT.Millis(), r.TailFCT.Millis(),
 			r.Net.Drops, r.Summary.Incomplete)
+		if faults {
+			fmt.Fprintf(b, " %10d", r.Net.FaultDrops+r.Net.Corrupted)
+		}
+		fmt.Fprintln(b)
+	}
+}
+
+// renderFlap prints the FigureFlap series: per flapped-link count, the IRN
+// and RoCE incast request completion times and their ratio. The flapped
+// count is recovered from each scenario's fault spec (distinct links).
+func renderFlap(b *strings.Builder, results []Result) {
+	type acc struct {
+		irnRCT, roceRCT   float64
+		irnSlow, roceSlow float64
+		nIRN, nRoCE       int
+	}
+	byN := map[int]*acc{}
+	var ns []int
+	for _, r := range results {
+		links := map[int]bool{}
+		for _, f := range r.Scenario.Faults.Flaps {
+			links[f.Link] = true
+		}
+		n := len(links)
+		a, ok := byN[n]
+		if !ok {
+			a = &acc{}
+			byN[n] = a
+			ns = append(ns, n)
+		}
+		if r.Scenario.Transport == TransportIRN {
+			a.irnRCT += r.RCT.Millis()
+			a.irnSlow += r.AvgSlowdown
+			a.nIRN++
+		} else {
+			a.roceRCT += r.RCT.Millis()
+			a.roceSlow += r.AvgSlowdown
+			a.nRoCE++
+		}
+	}
+	sort.Ints(ns)
+	fmt.Fprintf(b, "%14s %14s %14s %14s %14s %20s\n",
+		"flapped_links", "IRN_rct_ms", "RoCE_rct_ms", "IRN_slowdown", "RoCE_slowdown", "RCT ratio IRN/RoCE")
+	for _, n := range ns {
+		a := byN[n]
+		if a.nIRN == 0 || a.nRoCE == 0 {
+			continue
+		}
+		irn := a.irnRCT / float64(a.nIRN)
+		roce := a.roceRCT / float64(a.nRoCE)
+		fmt.Fprintf(b, "%14d %14.3f %14.3f %14.2f %14.2f %20.3f\n", n, irn, roce,
+			a.irnSlow/float64(a.nIRN), a.roceSlow/float64(a.nRoCE), metrics.Ratio(irn, roce))
 	}
 }
 

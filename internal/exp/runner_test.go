@@ -5,6 +5,10 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"github.com/irnsim/irn/internal/fault"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
 )
 
 // fleetExperiment is a small multi-scenario sweep for runner tests: big
@@ -42,6 +46,58 @@ func TestFleetSerialParallelIdentical(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial.Aggregates(), wide.Aggregates()) {
 		t.Fatal("serial and parallel aggregates diverged")
+	}
+}
+
+// faultExperiment exercises every fault axis at once: random loss,
+// corruption, flapping links, and a degraded-bandwidth phase.
+func faultExperiment() Experiment {
+	t := topo.NewFatTree(6)
+	flaps := fault.PeriodicFlaps(t, 6, sim.Time(50*sim.Microsecond), 400*sim.Microsecond, 150*sim.Microsecond, 3, 21)
+	degrades := fault.DegradeLinks(t, 4, sim.Time(100*sim.Microsecond), 0, 0.25, 21)
+	mk := func(name string, mut func(*Scenario)) Scenario {
+		s := Scenario{NumFlows: 150, Seed: 11}
+		s.Faults = fault.Spec{
+			LossRate:    0.002,
+			CorruptRate: 0.0005,
+			Flaps:       flaps,
+			Degrades:    degrades,
+		}
+		s.Name = name
+		if mut != nil {
+			mut(&s)
+		}
+		return s
+	}
+	return Experiment{
+		ID:          "fault-fleet-test",
+		Description: "runner determinism sweep under fault injection",
+		Scenarios: []Scenario{
+			mk("IRN faults", nil),
+			mk("IRN+PFC faults", func(s *Scenario) { s.PFC = true }),
+			mk("RoCE+PFC faults", func(s *Scenario) { s.Transport = TransportRoCE; s.PFC = true }),
+		},
+	}
+}
+
+func TestFleetSerialParallelIdenticalWithFaults(t *testing.T) {
+	// The determinism contract must survive fault injection: fault RNG
+	// streams derive from (scenario seed, link direction) alone, so
+	// sharding the fleet across workers cannot perturb them.
+	e := faultExperiment()
+	serial := RunFleet(e, FleetConfig{Parallel: 1, Trials: 2, BaseSeed: 7})
+	wide := RunFleet(e, FleetConfig{Parallel: 8, Trials: 2, BaseSeed: 7})
+	if !reflect.DeepEqual(serial.Trials, wide.Trials) {
+		t.Fatal("serial and parallel fleets diverged under fault injection")
+	}
+	// The faults must actually have fired, or the test proves nothing.
+	for i, trials := range serial.Trials {
+		for tr, r := range trials {
+			if r.Net.FaultDrops == 0 || r.Net.Corrupted == 0 {
+				t.Errorf("scenario %d trial %d: faultdrops=%d corrupted=%d, want both > 0",
+					i, tr, r.Net.FaultDrops, r.Net.Corrupted)
+			}
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"github.com/irnsim/irn/internal/cc"
 	"github.com/irnsim/irn/internal/core"
 	"github.com/irnsim/irn/internal/fabric"
+	"github.com/irnsim/irn/internal/fault"
 	"github.com/irnsim/irn/internal/metrics"
 	"github.com/irnsim/irn/internal/packet"
 	"github.com/irnsim/irn/internal/rocev2"
@@ -132,6 +133,17 @@ type Scenario struct {
 	// SharedBuffer pools switch buffers across input ports (§A.5 note).
 	SharedBuffer bool
 
+	// Faults injects link-level failures — random loss, corruption, link
+	// flaps, degraded links — the robustness axes of the extended paper's
+	// appendix. The fault model is compiled against this scenario's
+	// topology and seed at run start.
+	Faults fault.Spec
+	// RoCETimeouts forces the RoCE receiver's stall timer on even when
+	// PFC would normally disable it (§4.1). Fault sweeps set it on every
+	// point — including the fault-free baseline — so the series varies
+	// only the fault axis, never the transport configuration.
+	RoCETimeouts bool
+
 	// Grace is how long past the last flow arrival the simulation may
 	// run before unfinished flows are declared incomplete.
 	Grace sim.Duration
@@ -192,6 +204,18 @@ type Result struct {
 	RCT sim.Duration
 	// Net carries fabric counters (drops, pauses, marks).
 	Net fabric.Stats
+	// Census carries the packet-conservation counters, and InFlight the
+	// fabric backlog at run end; together they close the conservation
+	// equation the invariant harness asserts.
+	Census   fabric.Census
+	InFlight int
+	// PoolLive is the number of packets still allocated out of the pool
+	// at run end and CtrlBacklog the control packets queued at NICs that
+	// never began transmission. Pool accounting demands
+	// PoolLive == InFlight + CtrlBacklog: anything above is a leak,
+	// anything below a double release (which also panics in the pool).
+	PoolLive    int
+	CtrlBacklog int
 	// Retransmits and Timeouts aggregate sender recovery activity.
 	Retransmits uint64
 	Timeouts    uint64
@@ -259,6 +283,13 @@ func Run(s Scenario) Result {
 	if cfg.PFCHeadroom >= cfg.BufferBytes {
 		// Tiny-buffer sweeps: keep a sane threshold at half the buffer.
 		cfg.PFCHeadroom = cfg.BufferBytes / 2
+	}
+	if s.Faults.Enabled() {
+		m, err := fault.New(s.Faults, len(top.Links()), s.Seed)
+		if err != nil {
+			panic(fmt.Sprintf("exp: scenario %q: %v", s.Name, err))
+		}
+		cfg.Faults = m
 	}
 	scale := s.Gbps / 40.0
 	switch s.CC {
@@ -338,12 +369,16 @@ func Run(s Scenario) Result {
 	eng.RunUntil(lastArrival.Add(s.Grace))
 
 	res := Result{
-		Name:     s.Name,
-		Scenario: s,
-		RCT:      sim.Duration(l.incastDone),
-		Net:      net.Stats,
-		Events:   eng.Executed(),
-		SimTime:  eng.Now(),
+		Name:        s.Name,
+		Scenario:    s,
+		RCT:         sim.Duration(l.incastDone),
+		Net:         net.Stats,
+		Census:      net.Census,
+		InFlight:    net.InFlightPackets(),
+		PoolLive:    int(net.Pool().Allocs) - net.Pool().FreeLen(),
+		CtrlBacklog: net.CtrlBacklog(),
+		Events:      eng.Executed(),
+		SimTime:     eng.Now(),
 	}
 	for i, fl := range l.flows {
 		if !fl.Finished {
@@ -435,9 +470,12 @@ func (l *launcher) start(i int) {
 
 	case TransportRoCE:
 		p := rocev2.Params{
-			MTU:            s.MTU,
-			RTOHigh:        s.RTOHigh,
-			DisableTimeout: s.PFC,
+			MTU:     s.MTU,
+			RTOHigh: s.RTOHigh,
+			// The paper disables RoCE timeouts when PFC guarantees
+			// losslessness (§4.1); injected faults break that guarantee,
+			// so fault scenarios keep timeouts even under PFC.
+			DisableTimeout: s.PFC && !s.Faults.Enabled() && !s.RoCETimeouts,
 			PerPacketAck:   s.CC == CCTimely,
 			ECT:            s.CC == CCDCQCN,
 		}

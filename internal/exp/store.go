@@ -30,6 +30,8 @@ type Row struct {
 	P99FCTms    float64 `json:"p99_fct_ms"`
 	RCTms       float64 `json:"rct_ms,omitempty"`
 	Drops       uint64  `json:"drops"`
+	FaultDrops  uint64  `json:"fault_drops,omitempty"`
+	Corrupted   uint64  `json:"corrupted,omitempty"`
 	PauseFrames uint64  `json:"pause_frames"`
 	ECNMarked   uint64  `json:"ecn_marked"`
 	Retransmits uint64  `json:"retransmits"`
@@ -72,6 +74,8 @@ func RowFromResult(expID string, trial int, res Result) Row {
 		P99FCTms:    res.TailFCT.Millis(),
 		RCTms:       res.RCT.Millis(),
 		Drops:       res.Net.Drops,
+		FaultDrops:  res.Net.FaultDrops,
+		Corrupted:   res.Net.Corrupted,
 		PauseFrames: res.Net.PauseFrames,
 		ECNMarked:   res.Net.ECNMarked,
 		Retransmits: res.Retransmits,
@@ -239,6 +243,8 @@ func diffRow(a, b Row) []string {
 	numeric("p99_fct_ms", a.P99FCTms, b.P99FCTms)
 	numeric("rct_ms", a.RCTms, b.RCTms)
 	numeric("drops", float64(a.Drops), float64(b.Drops))
+	numeric("fault_drops", float64(a.FaultDrops), float64(b.FaultDrops))
+	numeric("corrupted", float64(a.Corrupted), float64(b.Corrupted))
 	numeric("pause_frames", float64(a.PauseFrames), float64(b.PauseFrames))
 	numeric("ecn_marked", float64(a.ECNMarked), float64(b.ECNMarked))
 	numeric("retransmits", float64(a.Retransmits), float64(b.Retransmits))

@@ -1,0 +1,80 @@
+package fabric
+
+// Census tracks packet conservation across one fabric: every packet that
+// enters the fabric must end in exactly one of the exit counters or still
+// be inside it when the run stops. The invariant harness asserts
+//
+//	Injected == Delivered + OverflowDrops + InjectDrops +
+//	            FaultDrops + Corrupted + InFlightPackets()
+//
+// after every run. A miss on the low side means a packet died without
+// being accounted (and, with the pool, usually leaked); a miss on the high
+// side means a packet was counted — or delivered — twice. Together with
+// the pool's double-release panic this pins the ownership contract of the
+// pooled datapath.
+type Census struct {
+	// Injected counts packets that entered the fabric: each transmission
+	// start at a NIC egress port. (Control packets sitting in a NIC's
+	// priority queue at run end were never injected and are excluded —
+	// see CtrlBacklog.)
+	Injected uint64
+	// Delivered counts packets handed to a host: data, control, and
+	// strays alike — delivery is a packet death regardless of whether a
+	// transport claimed it.
+	Delivered uint64
+	// OverflowDrops counts drop-tail deaths at full switch buffers.
+	OverflowDrops uint64
+	// InjectDrops counts deaths via the Config.LossInject test hook.
+	InjectDrops uint64
+	// FaultDrops counts deaths from the fault model's random in-flight
+	// loss and from links that went down with packets in flight.
+	FaultDrops uint64
+	// Corrupted counts deaths at a receiving port's CRC check (the fault
+	// model's corruption rate).
+	Corrupted uint64
+}
+
+// Exits sums every death counter: the packets that left the fabric.
+func (c *Census) Exits() uint64 {
+	return c.Delivered + c.OverflowDrops + c.InjectDrops + c.FaultDrops + c.Corrupted
+}
+
+// InFlightPackets counts the packets currently inside the fabric: buffered
+// in switch virtual output queues or riding a link's in-flight window
+// (including NIC egress links). With Census.Exits it closes the
+// conservation equation at any instant between events.
+func (net *Network) InFlightPackets() int {
+	n := 0
+	for _, nic := range net.nics {
+		if nic != nil {
+			n += nic.egress.inflight.n
+		}
+	}
+	for _, sw := range net.switches {
+		for _, o := range sw.out {
+			n += o.port.inflight.n
+			for i := range o.voq {
+				n += o.voq[i].len()
+			}
+		}
+	}
+	return n
+}
+
+// CtrlBacklog counts control packets queued at NIC egress priority queues
+// that have not begun transmission: allocated but not yet injected. The
+// pool-accounting invariant is
+//
+//	pool.Allocs - pool.FreeLen() == InFlightPackets() + CtrlBacklog()
+//
+// i.e. every packet ever allocated is either free, inside the fabric, or
+// awaiting its first transmission.
+func (net *Network) CtrlBacklog() int {
+	n := 0
+	for _, nic := range net.nics {
+		if nic != nil {
+			n += nic.ctrl.len()
+		}
+	}
+	return n
+}

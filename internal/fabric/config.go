@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"github.com/irnsim/irn/internal/fault"
 	"github.com/irnsim/irn/internal/packet"
 	"github.com/irnsim/irn/internal/sim"
 )
@@ -48,6 +49,12 @@ type Config struct {
 	// drop). Tests and failure-injection experiments use it to create
 	// deterministic or random losses independent of buffer pressure.
 	LossInject func(pkt *packet.Packet) bool
+	// Faults, when non-nil, is the compiled fault model for this run:
+	// per-link random loss and corruption rates plus the link flap and
+	// degradation schedule. Faults resolve at the arrival end of each
+	// link (see outPort); scheduled transitions run as typed engine
+	// events. Nil injects nothing.
+	Faults *fault.Model
 	// Spray selects per-packet (instead of per-flow) multipathing: each
 	// packet picks an equal-cost path independently, as fine-grained
 	// load balancers do (DRILL, packet spraying — §7 "Reordering due to
@@ -96,6 +103,8 @@ type Stats struct {
 	Delivered    uint64 // data packets delivered to hosts
 	CtrlDeliv    uint64 // control packets delivered to hosts
 	Drops        uint64 // packets dropped at full input buffers
+	FaultDrops   uint64 // packets lost to injected faults (random loss, downed links)
+	Corrupted    uint64 // packets dropped by the receiving port's CRC check
 	ECNMarked    uint64 // packets CE-marked
 	PauseFrames  uint64 // X-OFF frames sent
 	ResumeFrames uint64 // X-ON frames sent

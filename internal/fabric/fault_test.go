@@ -1,0 +1,202 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/irnsim/irn/internal/fault"
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
+	"github.com/irnsim/irn/internal/transport"
+)
+
+// checkCensus asserts packet conservation and pool accounting after a run.
+func checkCensus(t *testing.T, net *Network) {
+	t.Helper()
+	c := &net.Census
+	inFlight := uint64(net.InFlightPackets())
+	if c.Injected != c.Exits()+inFlight {
+		t.Errorf("census: injected %d != exits %d + in-flight %d (%+v)",
+			c.Injected, c.Exits(), inFlight, *c)
+	}
+	live := net.pool.Allocs - uint64(net.pool.FreeLen())
+	want := inFlight + uint64(net.CtrlBacklog())
+	if live != want {
+		t.Errorf("pool: %d live packets, want %d (in-flight + ctrl backlog)", live, want)
+	}
+}
+
+// faultNet builds a star fabric with the given fault spec compiled against
+// its links.
+func faultNet(t *testing.T, hosts int, spec fault.Spec, seed uint64) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := testConfig()
+	top := topo.NewStar(hosts)
+	m, err := fault.New(spec, len(top.Links()), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = m
+	return eng, New(eng, top, cfg)
+}
+
+// newPooledBlaster builds a pooledBlaster (see perf_test.go) — fault
+// death sites release into the network pool, so fault tests must allocate
+// from it too.
+func newPooledBlaster(net *Network, id packet.FlowID, src, dst packet.NodeID, pkts, mtu int) *pooledBlaster {
+	return &pooledBlaster{
+		pool: net.Pool(),
+		flow: &transport.Flow{ID: id, Src: src, Dst: dst, Size: pkts * mtu, Pkts: pkts},
+		mtu:  mtu,
+	}
+}
+
+func TestTotalLossDropsEverything(t *testing.T) {
+	eng, net := faultNet(t, 2, fault.Spec{LossRate: 1}, 1)
+	rec := &recorder{}
+	net.NIC(1).AttachSink(1, rec)
+	net.NIC(0).AttachSource(newPooledBlaster(net, 1, 0, 1, 100, net.Cfg.MTU))
+	eng.Run()
+
+	if len(rec.times) != 0 {
+		t.Fatalf("delivered %d packets across a fully lossy link", len(rec.times))
+	}
+	if net.Stats.FaultDrops != 100 {
+		t.Errorf("fault drops = %d, want 100", net.Stats.FaultDrops)
+	}
+	checkCensus(t, net)
+}
+
+func TestCorruptionCountedSeparately(t *testing.T) {
+	eng, net := faultNet(t, 2, fault.Spec{CorruptRate: 0.3}, 7)
+	const pkts = 2000
+	rec := &recorder{}
+	net.NIC(1).AttachSink(1, rec)
+	net.NIC(0).AttachSource(newPooledBlaster(net, 1, 0, 1, pkts, net.Cfg.MTU))
+	eng.Run()
+
+	if net.Stats.Corrupted == 0 {
+		t.Fatal("no packets corrupted at 30% rate")
+	}
+	if net.Stats.FaultDrops != 0 {
+		t.Errorf("corruption leaked into FaultDrops (%d)", net.Stats.FaultDrops)
+	}
+	if got := len(rec.times) + int(net.Stats.Corrupted); got != pkts {
+		t.Errorf("delivered %d + corrupted %d != %d", len(rec.times), net.Stats.Corrupted, pkts)
+	}
+	// ~30% per link direction over 2 hops ⇒ ~51% end-to-end; allow slack.
+	if frac := float64(net.Stats.Corrupted) / pkts; frac < 0.35 || frac > 0.65 {
+		t.Errorf("corrupted fraction %.2f outside [0.35, 0.65]", frac)
+	}
+	checkCensus(t, net)
+}
+
+func TestLinkFlapKillsInFlightAndRecovers(t *testing.T) {
+	// The host 0 uplink goes down mid-stream and comes back. Packets in
+	// flight (or arriving on the dead link) die; transmission halts during
+	// the outage; the stream completes after the link returns.
+	cfg := testConfig()
+	wire := cfg.MTU + packet.DataHeader
+	ser := cfg.Rate.Serialize(wire)
+	down := sim.Time(10 * int64(ser))
+	up := down.Add(50 * sim.Microsecond)
+	eng, net := faultNet(t, 2, fault.Spec{
+		Flaps: []fault.Flap{{Link: 0, DownAt: down, UpAt: up}},
+	}, 1)
+
+	const pkts = 100
+	rec := &recorder{}
+	net.NIC(1).AttachSink(1, rec)
+	net.NIC(0).AttachSource(newPooledBlaster(net, 1, 0, 1, pkts, net.Cfg.MTU))
+	eng.Run()
+
+	if net.Stats.FaultDrops == 0 {
+		t.Error("flap killed no in-flight packets")
+	}
+	if got := len(rec.times) + int(net.Stats.FaultDrops); got != pkts {
+		t.Errorf("delivered %d + killed %d != %d", len(rec.times), net.Stats.FaultDrops, pkts)
+	}
+	// No arrival during the outage window (plus the propagation tail).
+	for _, at := range rec.times {
+		if at > down.Add(cfg.Prop) && at < up {
+			t.Errorf("packet arrived at %v inside the outage [%v, %v]", at, down, up)
+		}
+	}
+	// The stream must resume after the link comes back.
+	last := rec.times[len(rec.times)-1]
+	if last <= up {
+		t.Errorf("stream never resumed after link-up (last arrival %v <= %v)", last, up)
+	}
+	checkCensus(t, net)
+}
+
+func TestDegradedLinkSlowsDelivery(t *testing.T) {
+	// Run the whole stream with host 0's uplink at quarter rate: the last
+	// arrival lands ~4× later than at full rate.
+	run := func(factor float64) sim.Time {
+		spec := fault.Spec{}
+		if factor != 0 {
+			spec.Degrades = []fault.Degrade{{Link: 0, Factor: factor}}
+		}
+		eng, net := faultNet(t, 2, spec, 1)
+		rec := &recorder{}
+		net.NIC(1).AttachSink(1, rec)
+		net.NIC(0).AttachSource(newPooledBlaster(net, 1, 0, 1, 500, net.Cfg.MTU))
+		eng.Run()
+		if len(rec.times) != 500 {
+			t.Fatalf("factor %v: delivered %d/500", factor, len(rec.times))
+		}
+		checkCensus(t, net)
+		return rec.times[len(rec.times)-1]
+	}
+	full := run(0)
+	slow := run(0.25)
+	ratio := float64(slow) / float64(full)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("quarter-rate stream took %.2fx the full-rate time, want ~4x", ratio)
+	}
+}
+
+func TestECMPAvoidsDownedLink(t *testing.T) {
+	// k=4 fat-tree: host 0's edge switch has two agg uplinks. With one
+	// down from the start, inter-pod flows must still fully deliver over
+	// the surviving path.
+	eng := sim.NewEngine()
+	cfg := testConfig()
+	top := topo.NewFatTree(4)
+	// Find an uplink of host 0's edge switch (pod 0, edge 0).
+	hosts := top.Hosts()
+	downLink := -1
+	for i, l := range top.Links() {
+		if int(l.A) == hosts && int(l.B) > hosts { // edge(0,0) → an agg
+			downLink = i
+			break
+		}
+	}
+	if downLink < 0 {
+		t.Fatal("no edge uplink found")
+	}
+	m, err := fault.New(fault.Spec{Flaps: []fault.Flap{{Link: downLink, DownAt: 0}}}, len(top.Links()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = m
+	net := New(eng, top, cfg)
+
+	const flows = 16
+	const pkts = 20
+	delivered := 0
+	for f := packet.FlowID(1); f <= flows; f++ {
+		src, dst := packet.NodeID(0), packet.NodeID(15) // pod 0 → pod 3
+		net.NIC(dst).AttachSink(f, sinkFunc(func(*packet.Packet, sim.Time) { delivered++ }))
+		net.NIC(src).AttachSource(newPooledBlaster(net, f, src, dst, pkts, cfg.MTU))
+	}
+	eng.Run()
+
+	if delivered != flows*pkts {
+		t.Errorf("delivered %d/%d packets around the downed uplink (faultdrops=%d, drops=%d)",
+			delivered, flows*pkts, net.Stats.FaultDrops, net.Stats.Drops)
+	}
+	checkCensus(t, net)
+}

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"github.com/irnsim/irn/internal/fault"
 	"github.com/irnsim/irn/internal/packet"
 	"github.com/irnsim/irn/internal/sim"
 	"github.com/irnsim/irn/internal/topo"
@@ -23,10 +24,16 @@ type Network struct {
 	nodes    []node // indexed by NodeID
 	nics     []*NIC // indexed by host NodeID
 	switches []*Switch
+	ports    []*outPort // indexed by directed-link index (2*link, 2*link+1)
 	rng      *sim.RNG
 	pool     *packet.Pool
+	// downPorts counts the directed links currently down (maintained by
+	// applyChange): ECMP scans port down state only while it is non-zero,
+	// keeping the fault-free and between-flap datapath at full speed.
+	downPorts int
 
-	Stats Stats
+	Stats  Stats
+	Census Census
 }
 
 // New builds the fabric: one NIC per host, one Switch per switch node, and
@@ -58,19 +65,33 @@ func New(eng *sim.Engine, t topo.Topology, cfg Config) *Network {
 		}
 	}
 
-	// Wire both directions of every link.
-	for _, l := range t.Links() {
-		net.wire(l.A, l.B)
-		net.wire(l.B, l.A)
+	// Wire both directions of every link, attaching each direction's
+	// fault state (nil on healthy links).
+	for i, l := range t.Links() {
+		net.ports = append(net.ports,
+			net.wire(l.A, l.B, cfg.Faults.Dir(i, false)),
+			net.wire(l.B, l.A, cfg.Faults.Dir(i, true)))
 	}
 	for _, sw := range net.switches {
 		sw.finalize()
 	}
+
+	// Schedule the fault model's link transitions (flaps, degradations) as
+	// typed events. They are queued before any packet event, so at equal
+	// timestamps a transition applies first — deterministically.
+	for d, fl := range cfg.Faults.Dirs() {
+		if fl == nil {
+			continue
+		}
+		for ci, ch := range fl.Sched {
+			eng.ScheduleEvent(ch.At, net, netFault, uint64(d)<<32|uint64(ci))
+		}
+	}
 	return net
 }
 
-// wire creates the unidirectional port from → to.
-func (net *Network) wire(from, to packet.NodeID) {
+// wire creates the unidirectional port from → to and returns it.
+func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 	dst := net.nodes[to]
 	deliver := func(pkt *packet.Packet) { dst.receive(pkt, from) }
 
@@ -78,21 +99,30 @@ func (net *Network) wire(from, to packet.NodeID) {
 	case *NIC:
 		n.egress = outPort{
 			eng:     net.Eng,
+			net:     net,
 			rate:    net.Cfg.Rate,
+			curRate: net.Cfg.Rate,
 			prop:    net.Cfg.Prop,
+			flt:     flt,
+			origin:  true,
 			deliver: deliver,
 			source:  n.nextPacket,
 		}
+		return &n.egress
 	case *Switch:
 		idx := n.addPort(to)
 		o := n.out[idx]
 		o.port = outPort{
 			eng:     net.Eng,
+			net:     net,
 			rate:    net.Cfg.Rate,
+			curRate: net.Cfg.Rate,
 			prop:    net.Cfg.Prop,
+			flt:     flt,
 			deliver: deliver,
 			source:  o.nextPacket,
 		}
+		return &o.port
 	default:
 		panic(fmt.Sprintf("fabric: unknown node type %T", n))
 	}
@@ -109,10 +139,15 @@ func (net *Network) NIC(h packet.NodeID) *NIC {
 // Pool returns the fabric's per-engine packet free-list.
 func (net *Network) Pool() *packet.Pool { return net.pool }
 
-// netPFC is the Network's only sim.Handler event kind: a PFC frame
-// arriving at its target. The argument packs (from, to, pause) — see
-// sendPFC — so no frame object or closure exists per pause/resume.
-const netPFC uint8 = 0
+// Network sim.Handler event kinds: a PFC frame arriving at its target
+// (arg packs (from, to, pause) — see sendPFC) and a scheduled fault-model
+// transition (arg packs directed-link index << 32 | schedule index). In
+// both cases the payload rides in the argument, so no frame or event
+// object exists per occurrence.
+const (
+	netPFC uint8 = iota
+	netFault
+)
 
 // sendPFC delivers a PFC frame from a switch to neighbor `to`. PFC frames
 // are link-local flow control below the packet queues: they are modelled
@@ -127,8 +162,14 @@ func (net *Network) sendPFC(from, to packet.NodeID, pause bool) {
 	net.Eng.AfterEvent(net.Cfg.Prop, net, netPFC, arg)
 }
 
-// HandleEvent implements sim.Handler: PFC frame arrival.
-func (net *Network) HandleEvent(_ uint8, arg uint64) {
+// HandleEvent implements sim.Handler: PFC frame arrival or a fault-model
+// link transition.
+func (net *Network) HandleEvent(kind uint8, arg uint64) {
+	if kind == netFault {
+		d := int(arg >> 32)
+		net.ports[d].applyChange(net.Cfg.Faults.Dirs()[d].Sched[arg&0xffffffff])
+		return
+	}
 	from := packet.NodeID(int32(arg >> 33))
 	to := packet.NodeID(int32(arg >> 1 & 0xffffffff))
 	net.nodes[to].pfcFrame(from, arg&1 != 0)

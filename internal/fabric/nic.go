@@ -165,6 +165,7 @@ func (n *NIC) reap() {
 // control packets instead, which every transport in this repo does.
 func (n *NIC) receive(pkt *packet.Packet, _ packet.NodeID) {
 	now := n.net.Eng.Now()
+	n.net.Census.Delivered++
 	switch pkt.Type {
 	case packet.TypeData:
 		n.net.Stats.Delivered++

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"github.com/irnsim/irn/internal/fault"
 	"github.com/irnsim/irn/internal/packet"
 	"github.com/irnsim/irn/internal/sim"
 )
@@ -27,10 +28,29 @@ const (
 // is constant per link, so packets arrive in exactly the order they were
 // queued — popping the ring head at each portDeliver event is equivalent
 // to capturing the packet per event, without the capture.
+//
+// Fault injection happens at the arrival end of the link: random in-flight
+// loss, the receiving port's CRC check (corruption), and downed links all
+// resolve at portDeliver, where the packet either dies (released to the
+// pool, counted in Stats/Census) or is handed on. Keeping every pushed
+// packet paired with exactly one portDeliver event — even across link
+// flaps — is what keeps the in-flight ring and the event queue in sync.
 type outPort struct {
 	eng  *sim.Engine
-	rate Rate
+	net  *Network // stats, census, and the pool faults release into
+	rate Rate     // configured rate; curRate applies degradation
 	prop sim.Duration
+
+	// curRate is the effective serialization rate: rate normally, scaled
+	// while a fault.ChangeRate degradation phase is active.
+	curRate Rate
+
+	// flt is this direction's fault state, nil on healthy links.
+	flt *fault.Link
+
+	// origin marks a NIC egress port: packets transmitted here enter the
+	// fabric and are counted in Census.Injected.
+	origin bool
 
 	// source supplies the next packet to transmit, or nil if none is
 	// ready. Called only when the port is idle and unpaused.
@@ -44,22 +64,27 @@ type outPort struct {
 
 	busy   bool
 	paused bool // PFC X-OFF received from downstream
+	down   bool // link failed (fault.ChangeDown); nothing transmits
 }
 
-// kick starts a transmission if the port is idle, unpaused, and a packet
-// is available. It reschedules itself after each completed serialization,
-// so one kick keeps the port busy as long as the source has packets.
+// kick starts a transmission if the port is idle, unpaused, up, and a
+// packet is available. It reschedules itself after each completed
+// serialization, so one kick keeps the port busy as long as the source has
+// packets.
 func (o *outPort) kick() {
-	if o.busy || o.paused {
+	if o.busy || o.paused || o.down {
 		return
 	}
 	pkt := o.source()
 	if pkt == nil {
 		return
 	}
+	if o.origin {
+		o.net.Census.Injected++
+	}
 	o.busy = true
 	o.inflight.push(pkt)
-	o.eng.AfterEvent(o.rate.Serialize(pkt.Wire), o, portTxDone, 0)
+	o.eng.AfterEvent(o.curRate.Serialize(pkt.Wire), o, portTxDone, 0)
 }
 
 // HandleEvent implements sim.Handler: port timing events.
@@ -72,7 +97,63 @@ func (o *outPort) HandleEvent(kind uint8, _ uint64) {
 		o.eng.AfterEvent(o.prop, o, portDeliver, 0)
 		o.kick()
 	case portDeliver:
-		o.deliver(o.inflight.pop())
+		pkt := o.inflight.pop()
+		// Fault resolution at the receiving end. A downed link kills the
+		// packets that were in flight when it failed; then the in-flight
+		// loss draw; then the CRC check.
+		if o.down {
+			o.die(pkt, &o.net.Stats.FaultDrops, &o.net.Census.FaultDrops)
+			return
+		}
+		if o.flt != nil {
+			if o.flt.DropLoss() {
+				o.die(pkt, &o.net.Stats.FaultDrops, &o.net.Census.FaultDrops)
+				return
+			}
+			if o.flt.DropCorrupt() {
+				o.die(pkt, &o.net.Stats.Corrupted, &o.net.Census.Corrupted)
+				return
+			}
+		}
+		o.deliver(pkt)
+	}
+}
+
+// die is a fault death site: the packet leaves the simulation here, so it
+// is counted (stat + census must stay paired, or the conservation
+// invariant breaks) and released back to the pool — dropping without
+// releasing would leak, releasing twice panics.
+func (o *outPort) die(pkt *packet.Packet, stat, census *uint64) {
+	*stat++
+	*census++
+	o.net.pool.Release(pkt)
+}
+
+// applyChange executes one scheduled fault transition on this link
+// direction, keeping the network's count of currently-down directions
+// (which gates the ECMP down-state scan) in step.
+func (o *outPort) applyChange(ch fault.Change) {
+	switch ch.Kind {
+	case fault.ChangeDown:
+		if !o.down {
+			o.down = true
+			o.net.downPorts++
+		}
+	case fault.ChangeUp:
+		if o.down {
+			o.down = false
+			o.net.downPorts--
+		}
+		o.kick()
+	case fault.ChangeRate:
+		if ch.Factor == 1 {
+			o.curRate = o.rate
+		} else {
+			// ps/byte grows as bandwidth shrinks. The packet currently
+			// serializing keeps its old timing; the next kick sees the new
+			// rate.
+			o.curRate = Rate(float64(o.rate)/ch.Factor + 0.5)
+		}
 	}
 }
 

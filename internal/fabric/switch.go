@@ -83,6 +83,7 @@ func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
 	// a packet death: the packet returns to the pool right here.
 	if cfg.LossInject != nil && cfg.LossInject(pkt) {
 		s.net.Stats.Drops++
+		s.net.Census.InjectDrops++
 		s.net.pool.Release(pkt)
 		return
 	}
@@ -94,11 +95,13 @@ func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
 	if cfg.SharedBuffer {
 		if s.shared+pkt.Wire > cfg.BufferBytes*len(s.in) {
 			s.net.Stats.Drops++
+			s.net.Census.OverflowDrops++
 			s.net.pool.Release(pkt)
 			return
 		}
 	} else if s.in[inIdx].bytes+pkt.Wire > cfg.BufferBytes {
 		s.net.Stats.Drops++
+		s.net.Census.OverflowDrops++
 		s.net.pool.Release(pkt)
 		return
 	}
@@ -128,7 +131,12 @@ func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
 }
 
 // pickOutput chooses the output port for pkt: flow-hash ECMP by default,
-// or an independent per-packet choice in spray mode.
+// or an independent per-packet choice in spray mode. Next-hop selection
+// honors link state: output ports whose link is down are skipped while an
+// equal-cost alternative is up (the routing reconvergence a real fabric
+// performs, collapsed to instantaneous). If every choice is down the
+// hashed pick stands — the packet queues at the dead port and its loss is
+// recovered like any other.
 func (s *Switch) pickOutput(pkt *packet.Packet) int {
 	ports := s.routes[pkt.Dst]
 	if len(ports) == 1 {
@@ -139,7 +147,27 @@ func (s *Switch) pickOutput(pkt *packet.Packet) int {
 		s.sprayCtr++
 		h ^= s.sprayCtr * 0x9e3779b97f4a7c15
 	}
-	return ports[mix64(h^s.salt)%uint64(len(ports))]
+	hv := mix64(h ^ s.salt)
+	if s.net.downPorts > 0 {
+		up := 0
+		for _, p := range ports {
+			if !s.out[p].port.down {
+				up++
+			}
+		}
+		if up > 0 && up < len(ports) {
+			k := int(hv % uint64(up))
+			for _, p := range ports {
+				if !s.out[p].port.down {
+					if k == 0 {
+						return p
+					}
+					k--
+				}
+			}
+		}
+	}
+	return ports[hv%uint64(len(ports))]
 }
 
 // nextPacket is the output port's source callback: round-robin over the

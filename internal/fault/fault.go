@@ -1,0 +1,277 @@
+// Package fault is the deterministic fault model the fabric injects link
+// failures from: per-link random loss, per-link corruption (corrupted
+// packets survive the wire but fail the receiving port's CRC check and are
+// dropped there), scheduled link down/up events ("flaps") that kill the
+// packets in flight and are honored by ECMP next-hop selection, and
+// degraded-bandwidth phases.
+//
+// IRN's core claim is that efficient loss recovery makes RDMA robust
+// without a lossless fabric; the extended paper's robustness appendix
+// (arXiv:1806.08159) sweeps exactly these fault axes. Queue overflow is the
+// only loss the congestion scenarios exercise — this package opens the
+// regimes where losses are not self-inflicted.
+//
+// Determinism: a Spec is pure data inside a Scenario; the per-run Model
+// compiled from it gives every directed link its own RNG stream derived
+// from the scenario seed and the link index alone (sim.DeriveSeed), never
+// from execution order. Serial and parallel fleet runs therefore stay
+// bit-identical, and changing the fault rate on one link does not perturb
+// the random choices of any other.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// Spec describes the faults injected into one scenario run. The zero value
+// injects nothing. Link indexes refer to topo.Topology.Links() order; every
+// fault applies to both directions of the full-duplex link.
+type Spec struct {
+	// LossRate is the probability that a packet traversing any link is
+	// silently lost in flight.
+	LossRate float64
+	// CorruptRate is the probability that a packet arrives with a payload
+	// or header corruption: the receiving port's CRC check drops it. The
+	// effect matches a loss but is counted separately, as switches do.
+	CorruptRate float64
+	// Flaps schedules link down/up transitions.
+	Flaps []Flap
+	// Degrades schedules reduced-bandwidth phases.
+	Degrades []Degrade
+}
+
+// Flap takes one link down at DownAt and back up at UpAt (zero = the link
+// stays down for the rest of the run). Packets in flight on a downed link
+// are dropped; switches steer ECMP traffic away from downed ports while
+// alternatives exist.
+type Flap struct {
+	Link   int // index into Topology.Links()
+	DownAt sim.Time
+	UpAt   sim.Time
+}
+
+// Degrade runs one link at Factor of its configured bandwidth from From to
+// To (zero To = the rest of the run). Factor must be in (0, 1].
+type Degrade struct {
+	Link   int
+	From   sim.Time
+	To     sim.Time
+	Factor float64
+}
+
+// Enabled reports whether the spec injects any fault at all.
+func (s *Spec) Enabled() bool {
+	return s.LossRate > 0 || s.CorruptRate > 0 || len(s.Flaps) > 0 || len(s.Degrades) > 0
+}
+
+// Validate checks rates, factors, link indexes and time ordering against
+// the number of full-duplex links in the topology.
+func (s *Spec) Validate(numLinks int) error {
+	if s.LossRate < 0 || s.LossRate > 1 {
+		return fmt.Errorf("fault: loss rate %v outside [0,1]", s.LossRate)
+	}
+	if s.CorruptRate < 0 || s.CorruptRate > 1 {
+		return fmt.Errorf("fault: corrupt rate %v outside [0,1]", s.CorruptRate)
+	}
+	for i, f := range s.Flaps {
+		if f.Link < 0 || f.Link >= numLinks {
+			return fmt.Errorf("fault: flap link %d outside [0,%d)", f.Link, numLinks)
+		}
+		if f.UpAt != 0 && f.UpAt <= f.DownAt {
+			return fmt.Errorf("fault: flap on link %d comes up at %d before going down at %d", f.Link, f.UpAt, f.DownAt)
+		}
+		// Windows on the same link must not overlap: the compiled down
+		// state is a single boolean per direction, so an earlier flap's Up
+		// would raise a link a later flap still holds down. Touching
+		// windows (UpAt == next DownAt) are fine — the schedule orders
+		// restoring transitions before failing ones at a shared instant.
+		for _, g := range s.Flaps[:i] {
+			if g.Link == f.Link && overlaps(f.DownAt, f.UpAt, g.DownAt, g.UpAt) {
+				return fmt.Errorf("fault: overlapping flaps on link %d ([%d,%d) and [%d,%d))",
+					f.Link, g.DownAt, g.UpAt, f.DownAt, f.UpAt)
+			}
+		}
+	}
+	for i, d := range s.Degrades {
+		if d.Link < 0 || d.Link >= numLinks {
+			return fmt.Errorf("fault: degrade link %d outside [0,%d)", d.Link, numLinks)
+		}
+		if d.Factor <= 0 || d.Factor > 1 {
+			return fmt.Errorf("fault: degrade factor %v outside (0,1]", d.Factor)
+		}
+		if d.To != 0 && d.To <= d.From {
+			return fmt.Errorf("fault: degrade on link %d ends at %d before starting at %d", d.Link, d.To, d.From)
+		}
+		// Same single-value argument as for flaps: the effective rate is
+		// one scalar per direction.
+		for _, g := range s.Degrades[:i] {
+			if g.Link == d.Link && overlaps(d.From, d.To, g.From, g.To) {
+				return fmt.Errorf("fault: overlapping degrades on link %d ([%d,%d) and [%d,%d))",
+					d.Link, g.From, g.To, d.From, d.To)
+			}
+		}
+	}
+	return nil
+}
+
+// overlaps reports whether the half-open windows [a, aEnd) and [b, bEnd)
+// intersect, where a zero end means "until the end of the run".
+func overlaps(a, aEnd, b, bEnd sim.Time) bool {
+	aOpen := aEnd == 0
+	bOpen := bEnd == 0
+	return (aOpen || b < aEnd) && (bOpen || a < bEnd)
+}
+
+// ChangeKind discriminates scheduled link-state transitions.
+type ChangeKind uint8
+
+// Link-state transitions.
+const (
+	ChangeDown ChangeKind = iota // link fails; in-flight packets die
+	ChangeUp                     // link restored
+	ChangeRate                   // bandwidth scaled to Factor (1 restores)
+)
+
+// Change is one scheduled transition on a directed link.
+type Change struct {
+	At     sim.Time
+	Kind   ChangeKind
+	Factor float64 // ChangeRate only
+}
+
+// Link is the compiled fault state of one directed link. The fabric's
+// output port consults it at packet-arrival time (loss, corruption) and
+// applies its Sched entries as typed engine events.
+type Link struct {
+	Loss    float64
+	Corrupt float64
+	// Sched is the time-ordered transition list for this direction. Equal
+	// times preserve spec order (flaps before degrades).
+	Sched []Change
+
+	rng *sim.RNG
+}
+
+// DropLoss draws the in-flight loss decision for one packet. It consumes
+// randomness only when a loss rate is set.
+func (l *Link) DropLoss() bool {
+	return l.Loss > 0 && l.rng.Float64() < l.Loss
+}
+
+// DropCorrupt draws the corruption decision for one packet. It consumes
+// randomness only when a corruption rate is set.
+func (l *Link) DropCorrupt() bool {
+	return l.Corrupt > 0 && l.rng.Float64() < l.Corrupt
+}
+
+// Model is a Spec compiled against a concrete topology and seed: one Link
+// per direction of every full-duplex link that has any fault attached. All
+// methods are nil-receiver safe (a nil *Model injects nothing), so the
+// fabric config carries an optional *Model without branching everywhere.
+type Model struct {
+	dirs []*Link // index: 2*link for A→B, 2*link+1 for B→A
+}
+
+// New compiles a spec for a topology with numLinks full-duplex links. Each
+// faulted direction gets an independent RNG stream derived from (seed,
+// "fault/dir", direction index), so fault randomness is independent of
+// execution order and of every other random stream in the run.
+func New(spec Spec, numLinks int, seed uint64) (*Model, error) {
+	if err := spec.Validate(numLinks); err != nil {
+		return nil, err
+	}
+	m := &Model{dirs: make([]*Link, 2*numLinks)}
+	dir := func(d int) *Link {
+		if m.dirs[d] == nil {
+			m.dirs[d] = &Link{
+				Loss:    spec.LossRate,
+				Corrupt: spec.CorruptRate,
+				rng:     sim.NewRNG(sim.DeriveSeed(seed, "fault/dir", d)),
+			}
+		}
+		return m.dirs[d]
+	}
+	if spec.LossRate > 0 || spec.CorruptRate > 0 {
+		for d := range m.dirs {
+			dir(d)
+		}
+	}
+	for _, f := range spec.Flaps {
+		for _, d := range []int{2 * f.Link, 2*f.Link + 1} {
+			l := dir(d)
+			l.Sched = append(l.Sched, Change{At: f.DownAt, Kind: ChangeDown})
+			if f.UpAt != 0 {
+				l.Sched = append(l.Sched, Change{At: f.UpAt, Kind: ChangeUp})
+			}
+		}
+	}
+	for _, dg := range spec.Degrades {
+		for _, d := range []int{2 * dg.Link, 2*dg.Link + 1} {
+			l := dir(d)
+			l.Sched = append(l.Sched, Change{At: dg.From, Kind: ChangeRate, Factor: dg.Factor})
+			if dg.To != 0 {
+				l.Sched = append(l.Sched, Change{At: dg.To, Kind: ChangeRate, Factor: 1})
+			}
+		}
+	}
+	for _, l := range m.dirs {
+		if l != nil && len(l.Sched) > 1 {
+			// Time order, and at a shared instant restoring transitions
+			// (Up, rate-restore) before failing ones (Down, degrade):
+			// touching windows then compose correctly — the outgoing
+			// window closes before the incoming one opens — regardless of
+			// the order the spec listed them in.
+			sort.SliceStable(l.Sched, func(i, j int) bool {
+				a, b := l.Sched[i], l.Sched[j]
+				if a.At != b.At {
+					return a.At < b.At
+				}
+				return changeRank(a) < changeRank(b)
+			})
+		}
+	}
+	return m, nil
+}
+
+// changeRank orders transitions at equal timestamps: restorations first.
+func changeRank(c Change) int {
+	if c.Kind == ChangeUp || (c.Kind == ChangeRate && c.Factor == 1) {
+		return 0
+	}
+	return 1
+}
+
+// MustNew is New for specs known valid (presets, tests); it panics on a
+// malformed spec, which is always a programming error there.
+func MustNew(spec Spec, numLinks int, seed uint64) *Model {
+	m, err := New(spec, numLinks, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Dirs returns the per-direction fault links, indexed 2*link (+1 for the
+// reverse direction); entries are nil where no fault applies. Nil-safe.
+func (m *Model) Dirs() []*Link {
+	if m == nil {
+		return nil
+	}
+	return m.dirs
+}
+
+// Dir returns the fault state of one direction of full-duplex link i, or
+// nil when that direction is fault-free. Nil-safe.
+func (m *Model) Dir(i int, reverse bool) *Link {
+	if m == nil {
+		return nil
+	}
+	d := 2 * i
+	if reverse {
+		d++
+	}
+	return m.dirs[d]
+}

@@ -1,0 +1,98 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHeaders decodes every header layout (BTH, RETH, AETH, IRN extension)
+// from arbitrary bytes, re-encodes what decoded, and decodes again: the
+// second decode must reproduce the first exactly, and the second encode
+// must reproduce the first byte-for-byte. This pins the masking rules
+// (24-bit PSN/QPN/MSN, flag packing) the verbs layer and hardware model
+// rely on: any field that survives a decode must survive the round trip.
+func FuzzHeaders(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add([]byte{0x04, 0xf0, 0x12, 0x34, 0x00, 0x01, 0x02, 0x03, 0x80, 0x00, 0x00, 0x07})
+	bth := BTH{Opcode: OpWriteFirst, SE: true, AckReq: true, PadCnt: 3, PKey: 0xffff, DestQP: 0xabcdef, PSN: 0xfedcba, MigReq: true, HdrVer: 0xf}
+	buf := bth.Marshal(nil)
+	reth := RETH{VA: 0x0123456789abcdef, RKey: 0xdeadbeef, DMALen: 1 << 30}
+	buf = reth.Marshal(buf)
+	aeth := AETH{Syndrome: SyndromeNack, MSN: 0x123456}
+	buf = aeth.Marshal(buf)
+	ext := IRNExt{WQESeq: 0xffffff, RelOffset: 0x000001}
+	f.Add(ext.Marshal(buf))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if h, err := UnmarshalBTH(data); err == nil {
+			enc := h.Marshal(nil)
+			h2, err := UnmarshalBTH(enc)
+			if err != nil {
+				t.Fatalf("BTH re-decode failed: %v", err)
+			}
+			if h != h2 {
+				t.Fatalf("BTH round trip: %+v != %+v", h, h2)
+			}
+			if enc2 := h2.Marshal(nil); !bytes.Equal(enc, enc2) {
+				t.Fatalf("BTH re-encode differs: %x != %x", enc, enc2)
+			}
+		}
+		if h, err := UnmarshalRETH(data); err == nil {
+			enc := h.Marshal(nil)
+			h2, err := UnmarshalRETH(enc)
+			if err != nil || h != h2 {
+				t.Fatalf("RETH round trip: %+v != %+v (%v)", h, h2, err)
+			}
+			if enc2 := h2.Marshal(nil); !bytes.Equal(enc, enc2) {
+				t.Fatalf("RETH re-encode differs: %x != %x", enc, enc2)
+			}
+		}
+		if h, err := UnmarshalAETH(data); err == nil {
+			enc := h.Marshal(nil)
+			h2, err := UnmarshalAETH(enc)
+			if err != nil || h != h2 {
+				t.Fatalf("AETH round trip: %+v != %+v (%v)", h, h2, err)
+			}
+			if enc2 := h2.Marshal(nil); !bytes.Equal(enc, enc2) {
+				t.Fatalf("AETH re-encode differs: %x != %x", enc, enc2)
+			}
+		}
+		if h, err := UnmarshalIRNExt(data); err == nil {
+			enc := h.Marshal(nil)
+			h2, err := UnmarshalIRNExt(enc)
+			if err != nil || h != h2 {
+				t.Fatalf("IRNExt round trip: %+v != %+v (%v)", h, h2, err)
+			}
+			if enc2 := h2.Marshal(nil); !bytes.Equal(enc, enc2) {
+				t.Fatalf("IRNExt re-encode differs: %x != %x", enc, enc2)
+			}
+		}
+	})
+}
+
+// FuzzBTHFieldRoundTrip drives encode→decode from structured field values
+// (the opposite direction of FuzzHeaders): every in-range field must
+// survive, and out-of-range field bits must be masked off consistently.
+func FuzzBTHFieldRoundTrip(f *testing.F) {
+	f.Add(uint8(0x04), true, false, uint8(1), uint16(7), uint32(42), uint32(99), false, uint8(0))
+	f.Fuzz(func(t *testing.T, op uint8, se, ackReq bool, pad uint8, pkey uint16, qp, psn uint32, mig bool, ver uint8) {
+		h := BTH{
+			Opcode: Opcode(op),
+			SE:     se,
+			AckReq: ackReq,
+			PadCnt: pad & 0x03,
+			PKey:   pkey,
+			DestQP: qp & 0xffffff,
+			PSN:    psn & 0xffffff,
+			MigReq: mig,
+			HdrVer: ver & 0x0f,
+		}
+		got, err := UnmarshalBTH(h.Marshal(nil))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != h {
+			t.Fatalf("BTH field round trip: %+v != %+v", got, h)
+		}
+	})
+}
