@@ -155,6 +155,13 @@ func BenchmarkFig12Overheads(b *testing.B) {
 	})
 }
 
+// BenchmarkFigScale is the scale-up run (k=10 fat-tree, 250 hosts) the
+// timing-wheel scheduler makes practical; its bench-scale flow count is
+// reduced proportionally (see exp.FigureScale).
+func BenchmarkFigScale(b *testing.B) {
+	benchExperiment(b, exp.FigureScale(exp.BenchScale()), reportPair("roce_pfc", "irn"))
+}
+
 func BenchmarkIncastCrossTraffic(b *testing.B) {
 	benchExperiment(b, exp.IncastCrossTraffic(exp.BenchScale()), func(b *testing.B, rs []exp.Result) {
 		if len(rs) >= 2 && rs[0].RCT > 0 {

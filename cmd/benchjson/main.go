@@ -6,11 +6,18 @@
 // Standard benchmark columns become ns_per_op / bytes_per_op /
 // allocs_per_op; every custom unit reported via b.ReportMetric (slowdowns,
 // FCT ratios, Mpps) lands in the per-benchmark "metrics" map.
+//
+// With -delta OLD.json NEW.json it instead diffs two recorded runs,
+// printing per-benchmark ns/op and allocs/op changes, and exits non-zero
+// if any benchmark regressed ns/op by more than -max-regress percent —
+// the check `scripts/bench.sh delta` runs in CI against the two newest
+// checked-in baselines.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -42,6 +49,28 @@ type Record struct {
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
+	var (
+		delta      = flag.Bool("delta", false, "diff two recorded runs: benchjson -delta OLD.json NEW.json")
+		maxRegress = flag.Float64("max-regress", 10, "with -delta: fail on ns/op regressions above this percent")
+		minMerge   = flag.Bool("min", false, "merge runs by per-benchmark minimum: benchjson -min RUN.json... (noise-robust wall-clock estimate)")
+	)
+	flag.Parse()
+	if *delta {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -delta OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(diffRecords(flag.Arg(0), flag.Arg(1), *maxRegress))
+	}
+	if *minMerge {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -min RUN.json...")
+			os.Exit(2)
+		}
+		mergeMin(flag.Args())
+		return
+	}
+
 	rec := Record{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -73,6 +102,111 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}
+
+// diffRecords prints per-benchmark ns/op and allocs/op deltas between two
+// recorded runs and returns the process exit code: 1 when any benchmark
+// present in both runs regressed ns/op by more than maxRegress percent,
+// 0 otherwise. Benchmarks present in only one file are listed but never
+// fail the check — adding or retiring a preset is not a regression.
+func diffRecords(oldPath, newPath string, maxRegress float64) int {
+	load := func(path string) Record {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		var r Record
+		if err := json.Unmarshal(buf, &r); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return r
+	}
+	oldRec, newRec := load(oldPath), load(newPath)
+	oldBy := make(map[string]Row, len(oldRec.Rows))
+	for _, r := range oldRec.Rows {
+		oldBy[r.Name] = r
+	}
+
+	pct := func(oldV, newV float64) float64 { return (newV/oldV - 1) * 100 }
+	fmt.Printf("%-26s %15s %15s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ns Δ%", "allocs Δ%")
+	failed := false
+	for _, nr := range newRec.Rows {
+		or, ok := oldBy[nr.Name]
+		delete(oldBy, nr.Name)
+		if !ok {
+			fmt.Printf("%-26s %15s %15.0f %8s %10s  (new)\n", nr.Name, "-", nr.NsPerOp, "-", "-")
+			continue
+		}
+		nsDelta, allocDelta := "-", "-"
+		regressed := false
+		if or.NsPerOp > 0 && nr.NsPerOp > 0 {
+			d := pct(or.NsPerOp, nr.NsPerOp)
+			nsDelta = fmt.Sprintf("%+.1f", d)
+			regressed = d > maxRegress
+		}
+		if or.AllocsPerOp > 0 && nr.AllocsPerOp > 0 {
+			allocDelta = fmt.Sprintf("%+.1f", pct(or.AllocsPerOp, nr.AllocsPerOp))
+		}
+		mark := ""
+		if regressed {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-26s %15.0f %15.0f %8s %10s%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, nsDelta, allocDelta, mark)
+	}
+	for name := range oldBy {
+		fmt.Printf("%-26s  (removed)\n", name)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% between %s and %s\n",
+			maxRegress, oldPath, newPath)
+		return 1
+	}
+	return 0
+}
+
+// mergeMin combines several recorded runs of the same suite into one
+// record taking, per benchmark, the run with the lowest ns/op (its other
+// columns and metrics ride along). Each run is a full deterministic
+// experiment, so wall-clock differences between repeats are scheduler and
+// neighbor noise — the minimum is the standard noise-robust estimate.
+// scripts/bench.sh uses this when BENCH_RUNS > 1.
+func mergeMin(paths []string) {
+	var out Record
+	best := map[string]int{} // name → index into out.Rows
+	for _, path := range paths {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		var rec Record
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		if out.Rows == nil {
+			out = Record{GoOS: rec.GoOS, GoArch: rec.GoArch, Pkg: rec.Pkg, CPU: rec.CPU}
+		}
+		for _, row := range rec.Rows {
+			if i, ok := best[row.Name]; ok {
+				if row.NsPerOp < out.Rows[i].NsPerOp {
+					out.Rows[i] = row
+				}
+				continue
+			}
+			best[row.Name] = len(out.Rows)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
 		os.Exit(1)
 	}

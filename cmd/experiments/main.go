@@ -12,6 +12,8 @@
 //	experiments -run figloss,figflap   # fault-injection robustness sweeps
 //	experiments -run fig1 -fault-loss 0.001
 //	                                   # overlay 0.1% random loss on fig1
+//	experiments -run figscale          # k=10 fat-tree scale-up (1024 flows)
+//	experiments -cpuprofile cpu.prof   # pprof the suite (go tool pprof)
 //	experiments -list                  # enumerate experiment ids
 //
 // Results persisted with -out are keyed by experiment id + scenario label
@@ -30,6 +32,7 @@ import (
 
 	"github.com/irnsim/irn/internal/exp"
 	"github.com/irnsim/irn/internal/fault"
+	"github.com/irnsim/irn/internal/prof"
 )
 
 func main() {
@@ -47,6 +50,9 @@ func main() {
 
 		faultLoss    = flag.Float64("fault-loss", 0, "overlay a per-link random loss rate on every scenario")
 		faultCorrupt = flag.Float64("fault-corrupt", 0, "overlay a per-link corruption rate on every scenario")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
 
@@ -99,6 +105,7 @@ func main() {
 	store := exp.NewStore()
 	cfg := exp.FleetConfig{Parallel: *parallel, Trials: *trials, BaseSeed: *seed}
 
+	stopProfiles := prof.Start(*cpuprofile, *memprofile)
 	suiteStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
@@ -112,6 +119,7 @@ func main() {
 		fmt.Printf("(%d scenarios x %d trials in %v)\n\n",
 			len(e.Scenarios), fr.Config.Trials, time.Since(start).Round(time.Millisecond))
 	}
+	stopProfiles()
 	fmt.Printf("suite completed in %v\n", time.Since(suiteStart).Round(time.Second))
 
 	// Persist before diffing: a bad -diff file must not cost the results

@@ -14,6 +14,8 @@
 //	irnsim -fault-loss 0.001                      # 0.1% random per-link loss
 //	irnsim -flap-links 8 -flap-down-us 400        # transient link failures
 //	irnsim -degrade-links 8 -degrade-factor 0.25  # links at quarter speed
+//	irnsim -cpuprofile cpu.prof -memprofile mem.prof
+//	                                              # pprof the run (go tool pprof)
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"github.com/irnsim/irn/internal/core"
 	"github.com/irnsim/irn/internal/exp"
 	"github.com/irnsim/irn/internal/fault"
+	"github.com/irnsim/irn/internal/prof"
 	"github.com/irnsim/irn/internal/sim"
 	"github.com/irnsim/irn/internal/topo"
 )
@@ -58,6 +61,9 @@ func main() {
 		flapCount     = flag.Int("flap-count", 3, "flaps per chosen link")
 		degradeLinks  = flag.Int("degrade-links", 0, "number of fabric links running degraded")
 		degradeFactor = flag.Float64("degrade-factor", 0.25, "degraded links' bandwidth fraction (0-1]")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
 
@@ -176,9 +182,11 @@ func main() {
 		cfg.BaseSeed = *seed
 	}
 
+	stopProfiles := prof.Start(*cpuprofile, *memprofile)
 	start := time.Now()
 	fr := exp.RunFleet(e, cfg)
 	wall := time.Since(start)
+	stopProfiles()
 
 	fmt.Printf("transport=%s cc=%s pfc=%v arity=%d gbps=%.0f load=%.2f flows=%d seed=%d trials=%d\n",
 		*transport, *ccName, *pfc, *arity, *gbps, *load, *flows, *seed, fr.Config.Trials)

@@ -249,15 +249,80 @@ type tcpStats struct{ s *tcpstack.Sender }
 func (w tcpStats) retransmits() uint64 { return w.s.Stats.Retransmits }
 func (w tcpStats) timeouts() uint64    { return w.s.Stats.Timeouts }
 
+// Worker runs scenarios on one long-lived engine, reusing simulation
+// infrastructure across runs. The engine (and its timing-wheel bucket
+// arrays) is reset and reused for every run; the fabric — topology,
+// routing tables, VOQ matrices, port wiring — and the packet pool are
+// reused whenever the next scenario is structurally identical to the
+// previous one (same fabricKey) and rebuilt otherwise. Trials of one
+// scenario always share a key, so a trial sweep constructs its fat-tree
+// exactly once per worker.
+//
+// A Worker is single-threaded, like the engine it owns; the fleet runner
+// gives each of its goroutines a private Worker. Results are bit-identical
+// to fresh construction — the golden-fixture and serial≡parallel tests
+// hold across the reuse path.
+type Worker struct {
+	eng   *sim.Engine
+	net   *fabric.Network
+	top   topo.Topology
+	key   fabricKey
+	built bool
+}
+
+// NewWorker returns a Worker with a fresh engine and no cached fabric.
+func NewWorker() *Worker { return &Worker{eng: sim.NewEngine()} }
+
+// fabricKey is the structural identity of a fabric: every input to its
+// construction except the seed and the fault model, which Network.Reset
+// re-applies per run. Two scenarios with equal keys run on identical
+// topologies and configs. (It mirrors fabric.Config field by field rather
+// than embedding it because Config's LossInject hook makes the struct
+// non-comparable; scenarios never set that hook.)
+type fabricKey struct {
+	arity         int
+	rate          fabric.Rate
+	prop          sim.Duration
+	bufferBytes   int
+	pfc           bool
+	pfcHeadroom   int
+	pfcHysteresis int
+	ecn           fabric.ECNConfig
+	mtu           int
+	spray         bool
+	sharedBuffer  bool
+}
+
+// keyOf extracts the structural identity of a scenario's fabric.
+func keyOf(arity int, cfg fabric.Config) fabricKey {
+	return fabricKey{
+		arity:         arity,
+		rate:          cfg.Rate,
+		prop:          cfg.Prop,
+		bufferBytes:   cfg.BufferBytes,
+		pfc:           cfg.PFC,
+		pfcHeadroom:   cfg.PFCHeadroom,
+		pfcHysteresis: cfg.PFCHysteresis,
+		ecn:           cfg.ECN,
+		mtu:           cfg.MTU,
+		spray:         cfg.Spray,
+		sharedBuffer:  cfg.SharedBuffer,
+	}
+}
+
 // Run executes a scenario to completion (all flows finished or grace
-// period exhausted) and returns its metrics.
-func Run(s Scenario) Result {
+// period exhausted) and returns its metrics. Package-level Run constructs
+// a throwaway Worker; the fleet runner calls Worker.Run to reuse one.
+func Run(s Scenario) Result { return NewWorker().Run(s) }
+
+// Run executes a scenario on this worker, reusing the engine always and
+// the fabric when the scenario is structurally identical to the previous
+// run's.
+func (w *Worker) Run(s Scenario) Result {
 	s = s.normalize()
-	eng := sim.NewEngine()
 
 	rate := fabric.Gbps(s.Gbps)
-	top := topo.NewFatTree(s.Arity)
-	bdp := fabric.BDPBytes(rate, s.Prop, top.LongestPathHops())
+	bdp := fabric.BDPBytes(rate, s.Prop, topo.FatTreeLongestPathHops)
 	linkBDP := fabric.BDPBytes(rate, s.Prop, 1)
 
 	// Headroom must absorb everything in flight when X-OFF takes hold:
@@ -284,13 +349,6 @@ func Run(s Scenario) Result {
 		// Tiny-buffer sweeps: keep a sane threshold at half the buffer.
 		cfg.PFCHeadroom = cfg.BufferBytes / 2
 	}
-	if s.Faults.Enabled() {
-		m, err := fault.New(s.Faults, len(top.Links()), s.Seed)
-		if err != nil {
-			panic(fmt.Sprintf("exp: scenario %q: %v", s.Name, err))
-		}
-		cfg.Faults = m
-	}
 	scale := s.Gbps / 40.0
 	switch s.CC {
 	case CCDCQCN:
@@ -305,7 +363,34 @@ func Run(s Scenario) Result {
 		cfg.ECN = fabric.ECNConfig{Enabled: true, KMin: k, KMax: k + 1, PMax: 1.0}
 	}
 
-	net := fabric.New(eng, top, cfg)
+	// Zero-rebuild path: reset the engine unconditionally; reset the
+	// cached fabric under the new seed and fault model when the structure
+	// matches, rebuild it otherwise.
+	key := keyOf(s.Arity, cfg)
+	w.eng.Reset()
+	if !w.built || w.key != key {
+		w.top = topo.NewFatTree(s.Arity)
+	}
+	var faults *fault.Model
+	if s.Faults.Enabled() {
+		m, err := fault.New(s.Faults, len(w.top.Links()), s.Seed)
+		if err != nil {
+			panic(fmt.Sprintf("exp: scenario %q: %v", s.Name, err))
+		}
+		faults = m
+	}
+	var net *fabric.Network
+	if w.built && w.key == key {
+		net = w.net
+		net.Reset(s.Seed, faults)
+	} else {
+		cfg.Faults = faults
+		net = fabric.New(w.eng, w.top, cfg)
+		w.net, w.key, w.built = net, key, true
+	}
+
+	eng := w.eng
+	top := w.top
 	bdpCap := int(float64(net.BDPCap()) * s.BDPCapScale)
 	if bdpCap < 1 {
 		bdpCap = 1
@@ -375,7 +460,7 @@ func Run(s Scenario) Result {
 		Net:         net.Stats,
 		Census:      net.Census,
 		InFlight:    net.InFlightPackets(),
-		PoolLive:    int(net.Pool().Allocs) - net.Pool().FreeLen(),
+		PoolLive:    net.Pool().Live(),
 		CtrlBacklog: net.CtrlBacklog(),
 		Events:      eng.Executed(),
 		SimTime:     eng.Now(),

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/irnsim/irn/internal/fault"
+)
+
+// TestWorkerReuseBitIdentical pins the zero-rebuild contract: a Worker
+// that has already run other scenarios — same fabric key (reset path) or
+// different (rebuild path), with and without faults — must produce
+// byte-identical Results to a fresh construction for every subsequent
+// run.
+func TestWorkerReuseBitIdentical(t *testing.T) {
+	seq := []Scenario{
+		{Name: "irn-a", NumFlows: 120, Seed: 11},
+		{Name: "irn-b", NumFlows: 120, Seed: 23}, // same key: reset path
+		{Name: "roce", NumFlows: 120, Seed: 11, PFC: true, // different key: rebuild
+			Transport: TransportRoCE},
+		{Name: "irn-faults", NumFlows: 120, Seed: 7, // same key as irn-a, plus faults
+			Faults: fault.Spec{LossRate: 0.002, CorruptRate: 0.001}},
+		{Name: "irn-c", NumFlows: 120, Seed: 31},              // faults cleared again
+		{Name: "dcqcn", NumFlows: 120, Seed: 11, CC: CCDCQCN}, // ECN config changes the key
+		{Name: "incast", IncastM: 12, IncastBytes: 400_000, Seed: 5},
+	}
+
+	w := NewWorker()
+	for i, s := range seq {
+		fresh := Run(s)
+		reused := w.Run(s)
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Fatalf("step %d (%s): worker reuse diverged from fresh run\nfresh:  %+v\nreused: %+v",
+				i, s.Name, fresh, reused)
+		}
+	}
+
+	// The same scenario back-to-back on one worker (the trial-sweep
+	// shape) must also be self-identical.
+	a := w.Run(seq[0])
+	b := w.Run(seq[0])
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated run of one scenario on a reused worker diverged")
+	}
+}
+
+// TestWorkerPoolWarmReuse: the second trial on a worker must serve its
+// packets from the pool's warm free list, not the heap — the point of
+// keeping the pool across trials.
+func TestWorkerPoolWarmReuse(t *testing.T) {
+	w := NewWorker()
+	s := Scenario{Name: "warm", NumFlows: 150, Seed: 3}
+	first := w.Run(s)
+	second := w.Run(s)
+	if !reflect.DeepEqual(first.Summary, second.Summary) {
+		t.Fatal("warm trial changed results")
+	}
+	// After the first trial the free list holds every packet the run
+	// released; the second trial must allocate a small fraction of what
+	// the first did.
+	// (Allocs counters reset per run, so Result-level comparison works.)
+	firstAllocs := first.Census.Injected // proxy: every injected packet was allocated or reused
+	if firstAllocs == 0 {
+		t.Fatal("no packets injected")
+	}
+	pool := w.net.Pool()
+	if pool.Reuses == 0 {
+		t.Fatal("second trial never reused a pooled packet")
+	}
+	if pool.Allocs*4 > pool.Reuses {
+		t.Fatalf("second trial heap-allocated %d packets vs %d reuses; pool warmth lost",
+			pool.Allocs, pool.Reuses)
+	}
+}

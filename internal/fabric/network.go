@@ -128,6 +128,49 @@ func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 	}
 }
 
+// Reset returns the fabric to its just-built state for a new run on the
+// same engine and topology, under a new seed and fault model: every port,
+// switch and NIC resets, stats and census zero, the ECN RNG reseeds, and
+// the fault schedule is re-queued as typed events — exactly the sequence
+// New performs, so a reset run is bit-identical to a freshly constructed
+// one. The caller must Engine.Reset() first (Reset schedules fault events
+// on the engine's clean queue). The packet pool keeps its free list warm
+// across runs; only its counters restart.
+//
+// This is the zero-rebuild trial path: the fleet runner reuses one
+// fabric per worker across the trials of a scenario instead of
+// reconstructing topology, routing tables, VOQ matrices and port arrays
+// per trial.
+func (net *Network) Reset(seed uint64, faults *fault.Model) {
+	net.Cfg.Seed = seed
+	net.Cfg.Faults = faults
+	net.rng = sim.NewRNG(seed ^ 0xfab51c)
+	net.pool.ResetStats()
+	net.Stats = Stats{}
+	net.Census = Census{}
+	net.downPorts = 0
+	for i, l := 0, len(net.ports)/2; i < l; i++ {
+		net.ports[2*i].flt = faults.Dir(i, false)
+		net.ports[2*i+1].flt = faults.Dir(i, true)
+	}
+	for _, nic := range net.nics {
+		if nic != nil {
+			nic.reset()
+		}
+	}
+	for _, sw := range net.switches {
+		sw.reset()
+	}
+	for d, fl := range faults.Dirs() {
+		if fl == nil {
+			continue
+		}
+		for ci, ch := range fl.Sched {
+			net.Eng.ScheduleEvent(ch.At, net, netFault, uint64(d)<<32|uint64(ci))
+		}
+	}
+}
+
 // NIC returns the NIC of host h.
 func (net *Network) NIC(h packet.NodeID) *NIC {
 	if int(h) >= len(net.nics) || net.nics[h] == nil {

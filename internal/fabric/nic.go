@@ -53,6 +53,24 @@ func newNIC(id packet.NodeID, net *Network) *NIC {
 // HandleEvent implements sim.Handler: the wake timer fired.
 func (n *NIC) HandleEvent(uint8, uint64) { n.egress.kick() }
 
+// reset returns the NIC to its just-built state for a new run: no
+// attached transports, an empty control queue, and the wake timer
+// disarmed (its pending engine event was discarded by Engine.Reset, so
+// the timer's own bookkeeping must be cleared with it).
+func (n *NIC) reset() {
+	n.egress.reset()
+	n.ctrl.reset()
+	for i := range n.sources {
+		n.sources[i] = nil
+	}
+	n.sources = n.sources[:0]
+	n.rr = 0
+	clear(n.srcByFlow)
+	clear(n.sinks)
+	n.wake.Reset()
+	n.Stray = 0
+}
+
 // ID returns the host node ID.
 func (n *NIC) ID() packet.NodeID { return n.id }
 
@@ -105,15 +123,24 @@ func (n *NIC) nextPacket() *packet.Packet {
 	haveWake := false
 
 	cnt := len(n.sources)
+	idx := n.rr
+	if idx >= cnt {
+		idx = 0
+	}
+	// Conditional wrap instead of modulo, as in swOut.nextPacket: this
+	// arbitration scan runs once per transmitted packet.
 	for i := 0; i < cnt; i++ {
-		idx := (n.rr + i) % cnt
 		src := n.sources[idx]
+		cur := idx
+		if idx++; idx == cnt {
+			idx = 0
+		}
 		if src.Done() {
 			continue // reaped below
 		}
 		ready, at := src.HasData(now)
 		if ready {
-			n.rr = idx + 1
+			n.rr = cur + 1
 			pkt := src.NextPacket(now)
 			if pkt == nil {
 				continue

@@ -157,6 +157,16 @@ func (o *outPort) applyChange(ch fault.Change) {
 	}
 }
 
+// reset returns the port to its just-wired state for a new run: idle,
+// unpaused, up, at the configured rate, with the in-flight window empty.
+// The fault-link pointer is reassigned separately by Network.Reset, which
+// compiles a fresh fault model per trial.
+func (o *outPort) reset() {
+	o.curRate = o.rate
+	o.inflight.reset()
+	o.busy, o.paused, o.down = false, false, false
+}
+
 // pause handles a PFC X-OFF: the packet currently being serialized
 // completes (that in-flight data is what the headroom absorbs), then the
 // port stays silent until resume.
@@ -174,8 +184,11 @@ func (o *outPort) resume() {
 // pktRing is a small FIFO ring of packets that grows on demand and never
 // allocates afterwards. A link holds at most ceil(prop/serialization)+1
 // packets in flight, so rings stay tiny; the zero value is ready for use.
+// Capacity is always a power of two so indexing is a bitmask — this ring
+// is touched twice per packet per hop, where an integer modulo is
+// measurable.
 type pktRing struct {
-	buf  []*packet.Packet
+	buf  []*packet.Packet // len(buf) is 0 or a power of two
 	head int
 	n    int
 }
@@ -185,12 +198,12 @@ func (r *pktRing) push(p *packet.Packet) {
 	if r.n == len(r.buf) {
 		grown := make([]*packet.Packet, max(4, 2*len(r.buf)))
 		for i := 0; i < r.n; i++ {
-			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+			grown[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 		}
 		r.buf = grown
 		r.head = 0
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
 	r.n++
 }
 
@@ -201,7 +214,16 @@ func (r *pktRing) pop() *packet.Packet {
 	}
 	p := r.buf[r.head]
 	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
 	return p
+}
+
+// reset empties the ring for a new run, dropping packet references but
+// keeping the array warm.
+func (r *pktRing) reset() {
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = nil
+	}
+	r.head, r.n = 0, 0
 }

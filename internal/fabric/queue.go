@@ -2,65 +2,98 @@ package fabric
 
 import "github.com/irnsim/irn/internal/packet"
 
-// pktQueue is a FIFO of packets with O(1) amortized push/pop and without
+// pktQueue is a FIFO ring of packets with O(1) push/pop and without
 // unbounded backing-array growth. Virtual output queues are long-lived and
 // churn millions of packets, so popping by re-slicing (which pins the
-// backing array) is not acceptable.
+// backing array) is not acceptable. The ring's capacity is always a power
+// of two so head/tail indexing is a bitmask — on the per-packet path that
+// beats both the old compacting copy and an integer modulo.
 type pktQueue struct {
-	buf   []*packet.Packet
-	head  int
+	buf   []*packet.Packet // ring storage; len(buf) is 0 or a power of two
+	head  int              // index of the first packet
+	n     int              // packets queued
 	bytes int
 }
 
+// queueMinCap is the capacity a queue starts from (and the floor below
+// which pop never shrinks it): large enough that steady-state depths never
+// realloc, small enough that a fat-tree's thousands of VOQs stay cheap.
+const queueMinCap = 64
+
+// shrinkMinCap is the capacity above which pop considers shrinking a
+// mostly-empty queue, and the capacity a shrunk queue restarts from.
+const shrinkMinCap = 1024
+
 // push appends a packet.
 func (q *pktQueue) push(p *packet.Packet) {
-	q.buf = append(q.buf, p)
+	if q.n == len(q.buf) {
+		q.regrow(max(queueMinCap, 2*len(q.buf)))
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
+	q.n++
 	q.bytes += p.Wire
 }
 
 // pop removes and returns the packet at the head, or nil if empty.
 func (q *pktQueue) pop() *packet.Packet {
-	if q.head >= len(q.buf) {
+	if q.n == 0 {
 		return nil
 	}
 	p := q.buf[q.head]
 	q.buf[q.head] = nil // release for GC
-	q.head++
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
 	q.bytes -= p.Wire
-	// Compact once the dead prefix dominates, keeping amortized O(1).
-	if q.head > 64 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		q.buf = q.buf[:n]
-		q.head = 0
-		// In-place compaction pins the backing array at its high-water
-		// capacity forever: one incast burst through a VOQ would hold its
-		// peak footprint for the rest of the run (across every VOQ of
-		// every switch). Once capacity greatly exceeds the live length,
-		// reallocate small and let the burst-sized array go to GC.
-		if cap(q.buf) > shrinkMinCap && cap(q.buf) > 4*n {
-			shrunk := make([]*packet.Packet, n, max(n, shrinkMinCap))
-			copy(shrunk, q.buf)
-			q.buf = shrunk
-		}
+	// A ring that absorbed an incast burst would otherwise pin its peak
+	// footprint for the rest of the run (across every VOQ of every
+	// switch). Once capacity greatly exceeds the live count, reallocate
+	// small and let the burst-sized array go to GC.
+	if len(q.buf) > shrinkMinCap && len(q.buf) > 4*q.n {
+		q.regrow(max(ceilPow2(q.n), shrinkMinCap))
 	}
 	return p
 }
 
-// shrinkMinCap is both the capacity floor below which pop never shrinks a
-// queue (avoiding realloc churn at normal depths) and the capacity a
-// shrunk queue restarts from.
-const shrinkMinCap = 1024
+// regrow moves the ring into a fresh power-of-two array of size newCap.
+func (q *pktQueue) regrow(newCap int) {
+	grown := make([]*packet.Packet, newCap)
+	mask := len(q.buf) - 1
+	for i := 0; i < q.n; i++ {
+		grown[i] = q.buf[(q.head+i)&mask]
+	}
+	q.buf = grown
+	q.head = 0
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
 
 // peek returns the head packet without removing it.
 func (q *pktQueue) peek() *packet.Packet {
-	if q.head >= len(q.buf) {
+	if q.n == 0 {
 		return nil
 	}
 	return q.buf[q.head]
 }
 
 // len returns the number of queued packets.
-func (q *pktQueue) len() int { return len(q.buf) - q.head }
+func (q *pktQueue) len() int { return q.n }
 
 // empty reports whether the queue holds no packets.
-func (q *pktQueue) empty() bool { return q.head >= len(q.buf) }
+func (q *pktQueue) empty() bool { return q.n == 0 }
+
+// reset empties the queue for a new run, dropping packet references (the
+// packets belong to the previous trial) but keeping the ring array warm.
+func (q *pktQueue) reset() {
+	mask := len(q.buf) - 1
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)&mask] = nil
+	}
+	q.head, q.n, q.bytes = 0, 0, 0
+}

@@ -74,6 +74,25 @@ func (s *Switch) finalize() {
 	}
 }
 
+// reset returns the switch to its just-built state for a new run: empty
+// VOQs, zeroed buffer accounting, PFC deasserted, round-robin pointers and
+// the spray counter at their initial positions. Structural state (ports,
+// routes, the ECMP salt) is topology-derived and survives.
+func (s *Switch) reset() {
+	for i := range s.in {
+		s.in[i] = inState{}
+	}
+	for _, o := range s.out {
+		o.rr, o.queued = 0, 0
+		for i := range o.voq {
+			o.voq[i].reset()
+		}
+		o.port.reset()
+	}
+	s.sprayCtr = 0
+	s.shared = 0
+}
+
 // receive handles a packet arriving on the link from neighbor `from`.
 func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
 	inIdx := s.portOf[from]
@@ -174,13 +193,21 @@ func (s *Switch) pickOutput(pkt *packet.Packet) int {
 // input VOQs feeding this output.
 func (o *swOut) nextPacket() *packet.Packet {
 	n := len(o.voq)
+	idx := o.rr
+	if idx >= n {
+		idx = 0
+	}
+	// Conditional wrap instead of modulo: this scan runs once per
+	// forwarded packet and port counts are not powers of two.
 	for i := 0; i < n; i++ {
-		idx := (o.rr + i) % n
 		if pkt := o.voq[idx].pop(); pkt != nil {
 			o.rr = idx + 1
 			o.queued -= pkt.Wire
 			o.sw.dequeued(idx, pkt)
 			return pkt
+		}
+		if idx++; idx == n {
+			idx = 0
 		}
 	}
 	return nil

@@ -243,6 +243,32 @@ func (p *Pool) FreeLen() int {
 	return len(p.free)
 }
 
+// ResetStats zeroes the pool's counters for a new run while keeping the
+// free list warm: the zero-rebuild trial path reuses one pool per worker,
+// so packets released in one trial are served — without heap allocation —
+// to the next. Packets still checked out when the previous run stopped
+// (in-flight at the deadline) are simply abandoned to the GC; they were
+// never released, so reuse order stays deterministic. Counters restart so
+// Live reflects the current run alone. Nil-safe.
+func (p *Pool) ResetStats() {
+	if p == nil {
+		return
+	}
+	p.Allocs, p.Reuses, p.Releases = 0, 0, 0
+}
+
+// Live reports the packets currently checked out of the pool: every get
+// (fresh or reused) minus every release since the last ResetStats. For a
+// pool used by a single run from empty this equals Allocs - FreeLen();
+// unlike that formula it stays correct when the free list carries warm
+// packets from a previous trial. Nil-safe.
+func (p *Pool) Live() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.Allocs + p.Reuses - p.Releases)
+}
+
 // NewData builds a data packet with standard RoCEv2 overheads.
 func (p *Pool) NewData(flow FlowID, src, dst NodeID, psn PSN, payload int, last bool) *Packet {
 	pkt := p.get()

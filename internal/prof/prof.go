@@ -1,0 +1,53 @@
+// Package prof is the pprof plumbing shared by the CLIs: a
+// -cpuprofile/-memprofile pair that brackets the simulation work, so perf
+// investigations never hand-roll profiling again (the flags mirror `go
+// test`'s).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and returns a
+// stop function that ends it and writes the heap profile (when memPath is
+// non-empty). Call stop after the simulation work and before any os.Exit
+// — os.Exit skips deferred calls, so error paths that exit early simply
+// lose the profile rather than corrupt it. Setup or write failures are
+// fatal: a perf run with a silently missing profile wastes the whole run.
+func Start(cpuPath, memPath string) (stop func()) {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal("cpuprofile", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile", err)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fatal("memprofile", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the live heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("memprofile", err)
+		}
+	}
+}
+
+// fatal reports a profiling setup error and exits.
+func fatal(what string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+	os.Exit(1)
+}

@@ -29,10 +29,13 @@ type event struct {
 	kind uint8
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
-// rather than built on container/heap: the event queue is the simulator's
-// hottest structure, and avoiding the heap.Interface boxing and indirect
-// calls roughly halves scheduling cost.
+// eventHeap is a binary min-heap ordered by (at, seq), hand-rolled rather
+// than built on container/heap to avoid the heap.Interface boxing and
+// indirect calls. It is no longer the engine's main queue — the
+// hierarchical timing wheel (wheel.go) is — but it remains load-bearing in
+// three places: the wheel's execution frontier (`ready`), its far-future
+// overflow, and the reference model the wheel is differentially tested
+// against (FuzzEventOrder).
 type eventHeap []event
 
 // less orders events by time, then FIFO.
@@ -94,7 +97,7 @@ func (h *eventHeap) pop() event {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   timingWheel
 	stopped bool
 
 	// Stats.
@@ -103,9 +106,18 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	e.queue = make(eventHeap, 0, 1024)
-	return e
+	return &Engine{}
+}
+
+// Reset returns the engine to its just-constructed state — clock at zero,
+// empty queue, zeroed counters — while keeping the queue's backing arrays
+// warm. The fleet runner resets one engine per worker between trials
+// instead of constructing a new one; any Timer attached to the engine must
+// be Reset alongside it (its pending event is discarded with the queue).
+func (e *Engine) Reset() {
+	e.now, e.seq, e.executed = 0, 0, 0
+	e.stopped = false
+	e.queue.reset()
 }
 
 // Now returns the current simulation time.
@@ -115,7 +127,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending reports how many events are scheduled but not yet run.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.size }
 
 // checkTime panics on scheduling in the past (before the current clock):
 // it always indicates a model bug, and silently reordering time corrupts
@@ -128,7 +140,7 @@ func (e *Engine) checkTime(at Time) {
 
 // ScheduleEvent runs h.HandleEvent(kind, arg) at absolute time at. This is
 // the hot path: it performs no allocation beyond amortized growth of the
-// event heap's backing array, which a warmed-up simulation never touches.
+// timing wheel's bucket arrays, which a warmed-up simulation never touches.
 func (e *Engine) ScheduleEvent(at Time, h Handler, kind uint8, arg uint64) {
 	e.checkTime(at)
 	e.seq++
@@ -157,18 +169,25 @@ func (e *Engine) After(d Duration, fn func()) {
 // Run executes events until the queue empties or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for e.queue.size > 0 && !e.stopped {
 		e.step()
 	}
 }
 
 // RunUntil executes events until the queue empties, Stop is called, or the
-// next event would fire after deadline. The clock is left at the time of
-// the last executed event (or deadline if it advanced past it).
+// next event would fire after deadline. If the deadline cut the run short,
+// the clock advances to it; if Stop fired or the queue drained, the clock
+// stays at the last executed event.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].at > deadline {
+	for e.queue.size > 0 {
+		// The stop check must precede the deadline check: when Stop()
+		// fired during the previous event, advancing the clock to the
+		// deadline would teleport the caller past events that never ran.
+		if e.stopped {
+			return
+		}
+		if e.queue.peekAt() > deadline {
 			e.now = deadline
 			return
 		}
@@ -281,6 +300,15 @@ func (t *Timer) tick(gen uint64) {
 // Cancel disarms the timer. Safe to call when unarmed. The pending engine
 // event, if any, lapses harmlessly.
 func (t *Timer) Cancel() { t.armed = false }
+
+// Reset returns the timer to its just-created state. Required after
+// Engine.Reset, which discards the timer's pending engine event wholesale:
+// a stale pending flag would otherwise make the next Arm believe an event
+// is already queued and never schedule one.
+func (t *Timer) Reset() {
+	t.deadline, t.armed = 0, false
+	t.pending, t.pendAt, t.pendGen = false, 0, 0
+}
 
 // Armed reports whether the timer is scheduled to fire.
 func (t *Timer) Armed() bool { return t.armed }

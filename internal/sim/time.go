@@ -1,12 +1,14 @@
 // Package sim provides the discrete-event simulation engine underlying the
-// IRN reproduction: an integer picosecond clock, a binary-heap event queue,
-// cancellable timers, and a deterministic random number generator.
+// IRN reproduction: an integer picosecond clock, a hierarchical
+// timing-wheel event queue (see wheel.go), cancellable timers, and a
+// deterministic random number generator.
 //
 // The engine is single-threaded by design: network simulation at packet
 // granularity is dominated by event ordering, and a lock-free sequential
-// heap is both faster and perfectly reproducible. Determinism is a hard
+// queue is both faster and perfectly reproducible. Determinism is a hard
 // requirement — every experiment in the paper harness is seeded, and equal
-// seeds must yield byte-identical results.
+// seeds must yield byte-identical results; the wheel pops events in exact
+// (time, scheduling-order) sequence, bit-identical to a priority heap.
 package sim
 
 import (

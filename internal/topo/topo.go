@@ -176,8 +176,15 @@ func (t *FatTree) Nodes() []Node { return t.nodes }
 // Links implements Topology.
 func (t *FatTree) Links() []Link { return t.links }
 
-// LongestPathHops implements Topology: host-edge-agg-core-agg-edge-host.
-func (t *FatTree) LongestPathHops() int { return 6 }
+// FatTreeLongestPathHops is the longest host-to-host shortest path in any
+// three-tier fat-tree (host-edge-agg-core-agg-edge-host), independent of
+// arity. Exported so BDP arithmetic can run before a topology is built —
+// the experiment worker sizes buffers (part of the fabric cache key)
+// without constructing the fat-tree it may be about to reuse.
+const FatTreeLongestPathHops = 6
+
+// LongestPathHops implements Topology.
+func (t *FatTree) LongestPathHops() int { return FatTreeLongestPathHops }
 
 // PathHops implements Topology.
 func (t *FatTree) PathHops(src, dst packet.NodeID) int {
