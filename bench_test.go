@@ -162,6 +162,19 @@ func BenchmarkFigScale(b *testing.B) {
 	benchExperiment(b, exp.FigureScale(exp.BenchScale()), reportPair("roce_pfc", "irn"))
 }
 
+// BenchmarkFigScaleShards is BenchmarkFigScale with each run sharded
+// across up to four cores by the conservative-parallel engine. Results
+// are bit-identical to the serial preset; the ns/op ratio between the two
+// benchmarks is the intra-run speedup (bounded by GOMAXPROCS — on a
+// single-core box the two coincide modulo barrier overhead).
+func BenchmarkFigScaleShards(b *testing.B) {
+	e := exp.FigureScale(exp.BenchScale())
+	for i := range e.Scenarios {
+		e.Scenarios[i].Shards = 4
+	}
+	benchExperiment(b, e, reportPair("roce_pfc", "irn"))
+}
+
 func BenchmarkIncastCrossTraffic(b *testing.B) {
 	benchExperiment(b, exp.IncastCrossTraffic(exp.BenchScale()), func(b *testing.B, rs []exp.Result) {
 		if len(rs) >= 2 && rs[0].RCT > 0 {
@@ -307,7 +320,8 @@ func reportMpps(b *testing.B) {
 // nullEndpoint satisfies transport.Endpoint for datapath microbenchmarks.
 type nullEndpoint struct{ eng *sim.Engine }
 
-func (e *nullEndpoint) Now() sim.Time { return 0 }
+func (e *nullEndpoint) Now() sim.Time     { return 0 }
+func (e *nullEndpoint) Clock() *sim.Clock { return nil }
 func (e *nullEndpoint) Engine() *sim.Engine {
 	if e.eng == nil {
 		e.eng = sim.NewEngine()

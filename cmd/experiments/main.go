@@ -13,6 +13,8 @@
 //	experiments -run fig1 -fault-loss 0.001
 //	                                   # overlay 0.1% random loss on fig1
 //	experiments -run figscale          # k=10 fat-tree scale-up (1024 flows)
+//	experiments -run figscale -shards 4
+//	                                   # shard that one run across 4 cores
 //	experiments -cpuprofile cpu.prof   # pprof the suite (go tool pprof)
 //	experiments -list                  # enumerate experiment ids
 //
@@ -43,6 +45,7 @@ func main() {
 		reps     = flag.Int("incast-reps", 3, "incast repetitions per fan-in")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent scenario workers")
 		trials   = flag.Int("trials", 1, "trials per scenario (derived seeds; >1 reports mean±stddev)")
+		shards   = flag.Int("shards", 1, "shard each run across this many cores (fleet caps workers x shards at GOMAXPROCS; results bit-identical)")
 		seed     = flag.Uint64("seed", 0, "base seed for derived trial seeds (0 = preset seeds when -trials=1)")
 		out      = flag.String("out", "", "persist results as JSON (merging into an existing file)")
 		diffPath = flag.String("diff", "", "diff results against a previously saved JSON file")
@@ -98,6 +101,18 @@ func main() {
 				if s.Faults.CorruptRate == 0 {
 					s.Faults.CorruptRate = *faultCorrupt
 				}
+			}
+		}
+	}
+
+	// Overlay intra-run sharding on every scenario. RunFleet arbitrates
+	// the two parallelism axes (workers x shards <= GOMAXPROCS); fault
+	// scenarios ignore the knob and run serial, as documented on
+	// Scenario.Shards.
+	if *shards > 1 {
+		for ei := range selected {
+			for si := range selected[ei].Scenarios {
+				selected[ei].Scenarios[si].Shards = *shards
 			}
 		}
 	}

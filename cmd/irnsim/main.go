@@ -50,6 +50,7 @@ func main() {
 		noBDPFC   = flag.Bool("no-bdpfc", false, "disable IRN's BDP-FC")
 		overheads = flag.Bool("worst-overheads", false, "model the §6.3 worst-case overheads")
 		trials    = flag.Int("trials", 1, "repeat the scenario under derived seeds")
+		shards    = flag.Int("shards", 1, "split the single run across this many cores (bit-identical results; fault scenarios run serial)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trial workers")
 		out       = flag.String("out", "", "persist results as JSON (merging into an existing file)")
 
@@ -69,6 +70,7 @@ func main() {
 
 	s := exp.Scenario{
 		Arity:       *arity,
+		Shards:      *shards,
 		Gbps:        *gbps,
 		Load:        *load,
 		NumFlows:    *flows,

@@ -128,7 +128,7 @@ func TestTimelyLossBackoff(t *testing.T) {
 
 func TestDCQCNDecreaseOnCNP(t *testing.T) {
 	eng := sim.NewEngine()
-	d := NewDCQCN(eng, DefaultDCQCNConfig(40))
+	d := NewDCQCN(eng, nil, DefaultDCQCNConfig(40))
 	if d.RateGbps() != 40 {
 		t.Fatalf("initial rate = %v", d.RateGbps())
 	}
@@ -146,7 +146,7 @@ func TestDCQCNDecreaseOnCNP(t *testing.T) {
 func TestDCQCNAlphaDecays(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := DefaultDCQCNConfig(40)
-	d := NewDCQCN(eng, cfg)
+	d := NewDCQCN(eng, nil, cfg)
 	d.OnCNP(0)
 	a0 := d.Alpha()
 	// Run the engine forward ~10 alpha periods with no CNPs.
@@ -160,7 +160,7 @@ func TestDCQCNAlphaDecays(t *testing.T) {
 func TestDCQCNRecoversViaTimer(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := DefaultDCQCNConfig(40)
-	d := NewDCQCN(eng, cfg)
+	d := NewDCQCN(eng, nil, cfg)
 	d.OnCNP(0)
 	cut := d.RateGbps()
 	// Timer-driven fast recovery should move rc halfway back to rt
@@ -176,7 +176,7 @@ func TestDCQCNByteCounterIncrease(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := DefaultDCQCNConfig(40)
 	cfg.ByteCounter = 10_000
-	d := NewDCQCN(eng, cfg)
+	d := NewDCQCN(eng, nil, cfg)
 	d.OnCNP(0)
 	cut := d.RateGbps()
 	for i := 0; i < 20; i++ {
@@ -192,7 +192,7 @@ func TestDCQCNHyperIncreaseEngages(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := DefaultDCQCNConfig(40)
 	cfg.ByteCounter = 1000
-	d := NewDCQCN(eng, cfg)
+	d := NewDCQCN(eng, nil, cfg)
 	d.OnCNP(0)
 	// Drive both byte and timer stages past F.
 	for i := 0; i < cfg.F+3; i++ {

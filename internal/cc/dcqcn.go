@@ -73,8 +73,10 @@ const (
 )
 
 // NewDCQCN returns a controller starting at line rate. The engine powers
-// the α-decay and rate-increase timers.
-func NewDCQCN(eng *sim.Engine, cfg DCQCNConfig) *DCQCN {
+// the α-decay and rate-increase timers; clk is the owning host's rank
+// clock (nil falls back to the engine clock), which keeps the timers'
+// events in canonical order under sharded execution.
+func NewDCQCN(eng *sim.Engine, clk *sim.Clock, cfg DCQCNConfig) *DCQCN {
 	d := &DCQCN{
 		cfg:   cfg,
 		eng:   eng,
@@ -82,8 +84,8 @@ func NewDCQCN(eng *sim.Engine, cfg DCQCNConfig) *DCQCN {
 		rt:    cfg.LineRateGbps,
 		alpha: 1,
 	}
-	d.alphaTimer = sim.NewHandlerTimer(eng, d, dcqcnAlpha)
-	d.incTimer = sim.NewHandlerTimer(eng, d, dcqcnIncrease)
+	d.alphaTimer = sim.NewHandlerTimer(eng, clk, d, dcqcnAlpha)
+	d.incTimer = sim.NewHandlerTimer(eng, clk, d, dcqcnIncrease)
 	d.alphaTimer.Arm(cfg.AlphaTimer)
 	d.incTimer.Arm(cfg.IncreaseTimer)
 	return d

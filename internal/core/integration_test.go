@@ -23,7 +23,7 @@ func runOverFabric(t *testing.T, p Params, ctrl transport.Controller, pkts int,
 	flow := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: pkts * p.MTU, Pkts: pkts}
 	snd := NewSender(net.NIC(0), flow, p, ctrl)
 	var doneAt sim.Time
-	rcv := NewReceiver(net.NIC(1), flow, p, func(now sim.Time) { doneAt = now })
+	rcv := NewReceiver(net.NIC(1), flow, p, doneFn(func(now sim.Time) { doneAt = now }))
 	net.NIC(1).AttachSink(flow.ID, rcv)
 	net.NIC(0).AttachSource(snd)
 

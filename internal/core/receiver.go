@@ -34,26 +34,28 @@ type Receiver struct {
 
 	cnp *cc.CNPGenerator
 
-	onComplete func(now sim.Time)
+	done transport.Completer
 
 	// Stats.
 	Acks, Nacks, CNPs, Duplicates uint64
 }
 
-// NewReceiver builds an IRN receiver for flow. onComplete (may be nil)
-// fires exactly once, when every packet of the message has arrived.
-func NewReceiver(ep transport.Endpoint, flow *transport.Flow, p Params, onComplete func(now sim.Time)) *Receiver {
+// NewReceiver builds an IRN receiver for flow. done (may be nil) is
+// notified exactly once, when every packet of the message has arrived;
+// taking an interface instead of a closure keeps flow start allocation-
+// free on the launcher's hot path.
+func NewReceiver(ep transport.Endpoint, flow *transport.Flow, p Params, done transport.Completer) *Receiver {
 	if flow.Pkts == 0 {
 		flow.Pkts = transport.NumPackets(flow.Size, p.MTU)
 	}
 	r := &Receiver{
-		ep:         ep,
-		pool:       ep.Pool(),
-		flow:       flow,
-		p:          p,
-		total:      flow.Pkts,
-		cnp:        cc.NewCNPGenerator(),
-		onComplete: onComplete,
+		ep:    ep,
+		pool:  ep.Pool(),
+		flow:  flow,
+		p:     p,
+		total: flow.Pkts,
+		cnp:   cc.NewCNPGenerator(),
+		done:  done,
 	}
 	capPkts := p.BDPCap
 	if capPkts <= 0 || capPkts > r.total {
@@ -155,7 +157,7 @@ func (r *Receiver) maybeComplete(now sim.Time) {
 	}
 	r.flow.Finished = true
 	r.flow.Finish = now
-	if r.onComplete != nil {
-		r.onComplete(now)
+	if r.done != nil {
+		r.done.FlowDone(r.flow, now)
 	}
 }

@@ -82,7 +82,7 @@ func NewSender(ep transport.Endpoint, flow *transport.Flow, p Params, ctrl trans
 		capPkts = s.total // uncapped window: bitmap must cover the message
 	}
 	s.acked = bitmap.New(capPkts + 1)
-	s.rto = sim.NewHandlerTimer(ep.Engine(), s, senderRTO)
+	s.rto = sim.NewHandlerTimer(ep.Engine(), ep.Clock(), s, senderRTO)
 	return s
 }
 

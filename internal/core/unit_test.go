@@ -18,6 +18,7 @@ type stubEP struct {
 func newStubEP() *stubEP { return &stubEP{eng: sim.NewEngine()} }
 
 func (e *stubEP) Now() sim.Time                  { return e.eng.Now() }
+func (e *stubEP) Clock() *sim.Clock              { return nil }
 func (e *stubEP) Pool() *packet.Pool             { return nil }
 func (e *stubEP) Engine() *sim.Engine            { return e.eng }
 func (e *stubEP) SendControl(pkt *packet.Packet) { e.sent = append(e.sent, pkt) }
@@ -397,7 +398,7 @@ func TestReceiverInOrderAcksEveryPacket(t *testing.T) {
 	ep := newStubEP()
 	p := testParams()
 	var doneAt sim.Time
-	r := NewReceiver(ep, mkFlow(3), p, func(now sim.Time) { doneAt = now })
+	r := NewReceiver(ep, mkFlow(3), p, doneFn(func(now sim.Time) { doneAt = now }))
 	for i := 0; i < 3; i++ {
 		pkt := packet.NewData(1, 0, 1, packet.PSN(i), 1000, i == 2)
 		pkt.SentAt = sim.Time(i + 1)
@@ -457,7 +458,7 @@ func TestReceiverFillsGapAndJumps(t *testing.T) {
 	}
 	// Then 3 completes the message (0..4).
 	var done bool
-	r.onComplete = func(sim.Time) { done = true }
+	r.done = doneFn(func(sim.Time) { done = true })
 	r.HandleData(packet.NewData(1, 0, 1, 3, 1000, false), 30)
 	out = ep.take()
 	if len(out) != 1 || out[0].CumAck != 5 {
@@ -581,4 +582,9 @@ func TestReceiverEchoesECNOnAcks(t *testing.T) {
 	if ack.AckedSentAt != 5 {
 		t.Errorf("ACK must echo SentAt for RTT: %v", ack.AckedSentAt)
 	}
+}
+
+// doneFn adapts a closure to transport.Completer, dropping the flow.
+func doneFn(f func(now sim.Time)) transport.Completer {
+	return transport.CompleterFunc(func(_ *transport.Flow, now sim.Time) { f(now) })
 }

@@ -12,9 +12,12 @@ import (
 // each scenario repeats.
 type FleetConfig struct {
 	// Parallel is the number of worker goroutines executing scenarios.
-	// Zero or negative selects GOMAXPROCS. Parallelism never affects
-	// results: every scenario/trial runs on its own engine with its own
-	// derived seed, so the output is bit-identical at any width.
+	// Zero or negative selects GOMAXPROCS; when scenarios shard
+	// intra-run (Scenario.Shards), RunFleet caps the effective width so
+	// workers × shards stays within GOMAXPROCS. Parallelism never
+	// affects results: every scenario/trial runs on its own engine group
+	// with its own derived seed, so the output is bit-identical at any
+	// width.
 	Parallel int
 	// Trials repeats every scenario this many times under different
 	// derived seeds (zero or negative means one trial). With a single
@@ -63,12 +66,39 @@ func (fr FleetResult) First() []Result {
 	return out
 }
 
+// maxShards returns the widest intra-run sharding any scenario of the
+// experiment will use.
+func maxShards(e Experiment) int {
+	m := 1
+	for i := range e.Scenarios {
+		s := e.Scenarios[i].normalize()
+		if n := s.effShards(); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
 // RunFleet executes every scenario of an experiment Trials times across
 // Parallel workers. Scheduling is work-stealing over a flattened
 // (scenario, trial) job list, but each job writes to its own slot, so the
 // returned structure is independent of worker count and interleaving.
+//
+// CPU arbitration between the two parallelism axes: each worker runs its
+// scenario with that scenario's own Shards-wide engine group, so the
+// fleet caps workers at GOMAXPROCS / max-shards (floor, minimum one) —
+// workers × shards never oversubscribes the machine. Trial-level
+// parallelism is the better deal when the grid is wide (perfect scaling,
+// no barriers), so sharding should be reserved for runs whose grid is
+// narrower than the core count — the single big figscale run, not a
+// 50-point sweep.
 func RunFleet(e Experiment, cfg FleetConfig) FleetResult {
 	cfg = cfg.normalize()
+	if shards := maxShards(e); shards > 1 {
+		if limit := runtime.GOMAXPROCS(0) / shards; cfg.Parallel > limit {
+			cfg.Parallel = max(1, limit)
+		}
+	}
 	fr := FleetResult{ExpID: e.ID, Config: cfg, Trials: make([][]Result, len(e.Scenarios))}
 
 	type job struct{ scenario, trial int }

@@ -114,6 +114,15 @@ type Scenario struct {
 	IncastM     int
 	IncastBytes int
 
+	// Shards splits this single run across that many engines, one shard
+	// goroutine each, partitioned pod-wise along inter-pod links with the
+	// link propagation delay as the conservative lookahead. Results are
+	// bit-identical for every value — including 1 and 0 (serial) — by the
+	// (time, rank) event-ordering contract; shards only buy wall-clock
+	// time on multi-core machines. Fault-injection scenarios force a
+	// single shard (link-state transitions would race across a boundary).
+	Shards int
+
 	// IRN knobs (§3, §4.3 ablations, §6.3 overheads).
 	Recovery       core.RecoveryMode
 	NoBDPFC        bool
@@ -190,7 +199,22 @@ func (s Scenario) normalize() Scenario {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if s.Shards <= 0 {
+		s.Shards = 1
+	}
 	return s
+}
+
+// effShards is the shard count a run actually uses: the requested count,
+// collapsed to one when the fault model is active (fault state on a
+// boundary link would be written by one shard and read by the other).
+// The arbitration is deliberately silent — a fault sweep with -shards
+// simply runs serial — and documented on the Shards field.
+func (s *Scenario) effShards() int {
+	if s.Shards <= 1 || s.Faults.Enabled() {
+		return 1
+	}
+	return s.Shards
 }
 
 // Result is the outcome of one scenario run.
@@ -236,13 +260,14 @@ type irnStats struct{ s *core.Sender }
 func (w irnStats) retransmits() uint64 { return w.s.Stats.Retransmits }
 func (w irnStats) timeouts() uint64    { return w.s.Stats.Timeouts }
 
-type roceStats struct {
-	s *rocev2.Sender
-	r *rocev2.Receiver
-}
+// roceStats wraps only the sender half: RoCE's timeout count lives on
+// the receiver, which may be attached by a different shard — the
+// launcher tracks receivers in a slice of their own (rcvs) so each slot
+// has exactly one writing shard.
+type roceStats struct{ s *rocev2.Sender }
 
 func (w roceStats) retransmits() uint64 { return w.s.Stats.Retransmits }
-func (w roceStats) timeouts() uint64    { return w.r.TimeoutNacks }
+func (w roceStats) timeouts() uint64    { return 0 }
 
 type tcpStats struct{ s *tcpstack.Sender }
 
@@ -263,15 +288,26 @@ func (w tcpStats) timeouts() uint64    { return w.s.Stats.Timeouts }
 // to fresh construction — the golden-fixture and serial≡parallel tests
 // hold across the reuse path.
 type Worker struct {
-	eng   *sim.Engine
+	engs  []*sim.Engine // engs[:shards] drive a run; grown on demand
 	net   *fabric.Network
 	top   topo.Topology
 	key   fabricKey
+	used  int // shard engines the cached fabric spans
 	built bool
 }
 
 // NewWorker returns a Worker with a fresh engine and no cached fabric.
-func NewWorker() *Worker { return &Worker{eng: sim.NewEngine()} }
+func NewWorker() *Worker { return &Worker{engs: []*sim.Engine{sim.NewEngine()}} }
+
+// engines returns the worker's first n engines, creating any missing
+// ones. Engines persist across runs like the fabric does: their timing-
+// wheel bucket arrays stay warm.
+func (w *Worker) engines(n int) []*sim.Engine {
+	for len(w.engs) < n {
+		w.engs = append(w.engs, sim.NewEngine())
+	}
+	return w.engs[:n]
+}
 
 // fabricKey is the structural identity of a fabric: every input to its
 // construction except the seed and the fault model, which Network.Reset
@@ -281,6 +317,7 @@ func NewWorker() *Worker { return &Worker{eng: sim.NewEngine()} }
 // non-comparable; scenarios never set that hook.)
 type fabricKey struct {
 	arity         int
+	shards        int
 	rate          fabric.Rate
 	prop          sim.Duration
 	bufferBytes   int
@@ -294,9 +331,10 @@ type fabricKey struct {
 }
 
 // keyOf extracts the structural identity of a scenario's fabric.
-func keyOf(arity int, cfg fabric.Config) fabricKey {
+func keyOf(arity, shards int, cfg fabric.Config) fabricKey {
 	return fabricKey{
 		arity:         arity,
+		shards:        shards,
 		rate:          cfg.Rate,
 		prop:          cfg.Prop,
 		bufferBytes:   cfg.BufferBytes,
@@ -363,11 +401,13 @@ func (w *Worker) Run(s Scenario) Result {
 		cfg.ECN = fabric.ECNConfig{Enabled: true, KMin: k, KMax: k + 1, PMax: 1.0}
 	}
 
-	// Zero-rebuild path: reset the engine unconditionally; reset the
-	// cached fabric under the new seed and fault model when the structure
-	// matches, rebuild it otherwise.
-	key := keyOf(s.Arity, cfg)
-	w.eng.Reset()
+	// Zero-rebuild path: reset the shard engines unconditionally (fault
+	// scheduling below needs clean queues); reset the cached fabric under
+	// the new seed and fault model when the structure matches, rebuild it
+	// otherwise. The requested shard count is part of the structure: a
+	// different partitioning is a different port/channel wiring.
+	shards := s.effShards()
+	key := keyOf(s.Arity, shards, cfg)
 	if !w.built || w.key != key {
 		w.top = topo.NewFatTree(s.Arity)
 	}
@@ -381,15 +421,22 @@ func (w *Worker) Run(s Scenario) Result {
 	}
 	var net *fabric.Network
 	if w.built && w.key == key {
+		for _, e := range w.engs[:w.used] {
+			e.Reset()
+		}
 		net = w.net
 		net.Reset(s.Seed, faults)
 	} else {
+		assign, used := topo.PartitionNodes(w.top, shards)
+		engs := w.engines(used)
+		for _, e := range engs {
+			e.Reset()
+		}
 		cfg.Faults = faults
-		net = fabric.New(w.eng, w.top, cfg)
-		w.net, w.key, w.built = net, key, true
+		net = fabric.NewPartitioned(engs, assign, w.top, cfg)
+		w.net, w.key, w.used, w.built = net, key, used, true
 	}
-
-	eng := w.eng
+	engines := w.engs[:w.used]
 	top := w.top
 	bdpCap := int(float64(net.BDPCap()) * s.BDPCapScale)
 	if bdpCap < 1 {
@@ -424,17 +471,25 @@ func (w *Worker) Run(s Scenario) Result {
 
 	l := &launcher{
 		s:           s,
-		eng:         eng,
 		net:         net,
 		bdpCap:      bdpCap,
 		minRTT:      sim.Duration(2*top.LongestPathHops()) * (s.Prop + rate.Serialize(s.MTU+packet.DataHeader)),
 		specs:       specs,
 		flows:       make([]*transport.Flow, len(specs)),
 		stats:       make([]senderStats, len(specs)),
-		remaining:   len(specs),
+		rcvs:        make([]*rocev2.Receiver, len(specs)),
+		recs:        make([]metrics.FlowRecord, len(specs)),
+		shard:       make([]launcherShard, net.Shards()),
 		incastFlows: incastFlows,
 	}
 
+	// Each flow arrives as two typed events: the sender attaches on the
+	// shard owning the source host, the receiver on the shard owning the
+	// destination. Both are ranked under the touched node's clock at
+	// setup time, so arrival order is a constant of the scenario, not of
+	// the partitioning. (The receiver is in place well before the first
+	// data packet: data needs at least one propagation delay — the
+	// lookahead — to reach the destination.)
 	var lastArrival sim.Time
 	for i, spec := range specs {
 		l.flows[i] = &transport.Flow{
@@ -448,30 +503,61 @@ func (w *Worker) Run(s Scenario) Result {
 		if spec.Start > lastArrival {
 			lastArrival = spec.Start
 		}
-		eng.ScheduleEvent(spec.Start, l, 0, uint64(i))
+		net.EngineOf(spec.Src).ScheduleEventFrom(net.Clock(spec.Src), spec.Start, l, launchSrc, uint64(i))
+		net.EngineOf(spec.Dst).ScheduleEventFrom(net.Clock(spec.Dst), spec.Start, l, launchDst, uint64(i))
 	}
 
-	eng.RunUntil(lastArrival.Add(s.Grace))
+	// Conservative windowed execution, serial included: the run always
+	// advances through lookahead-bounded safe windows with completion
+	// checked at barriers, so the set of executed events — and with it
+	// every counter below — is identical for every shard count.
+	deadline := lastArrival.Add(s.Grace)
+	sim.RunWindows(sim.WindowConfig{
+		Engines:   engines,
+		Lookahead: s.Prop,
+		Deadline:  deadline,
+		Drain:     net.Drain,
+		Done:      l.allDone,
+	})
 
 	res := Result{
 		Name:        s.Name,
 		Scenario:    s,
-		RCT:         sim.Duration(l.incastDone),
-		Net:         net.Stats,
-		Census:      net.Census,
+		Net:         net.Stats(),
+		Census:      net.Census(),
 		InFlight:    net.InFlightPackets(),
-		PoolLive:    net.Pool().Live(),
+		PoolLive:    net.PoolLive(),
 		CtrlBacklog: net.CtrlBacklog(),
-		Events:      eng.Executed(),
-		SimTime:     eng.Now(),
 	}
+	for _, e := range engines {
+		res.Events += e.Executed()
+		if t := e.Now(); t > res.SimTime {
+			res.SimTime = t
+		}
+	}
+	var incastDone sim.Time
+	for i := range l.shard {
+		if t := l.shard[i].incastDone; t > incastDone {
+			incastDone = t
+		}
+	}
+	res.RCT = sim.Duration(incastDone)
+	// Completion records accumulate per flow during the run (written by
+	// whichever shard owns the destination); folding them into the
+	// collector in flow order here keeps every floating-point reduction
+	// shard-invariant.
 	for i, fl := range l.flows {
-		if !fl.Finished {
+		if fl.Finished {
+			l.col.Add(l.recs[i])
+		} else {
 			l.col.AddIncomplete()
 		}
 		if st := l.stats[i]; st != nil {
 			res.Retransmits += st.retransmits()
 			res.Timeouts += st.timeouts()
+		}
+		if rcv := l.rcvs[i]; rcv != nil {
+			res.Timeouts += rcv.TimeoutNacks
 		}
 	}
 	res.Summary = l.col.Summarize()
@@ -479,114 +565,173 @@ func (w *Worker) Run(s Scenario) Result {
 	return res
 }
 
-// launcher wires each flow's transport at its arrival time. It is a
-// sim.Handler (arg = flow index), so scheduling a thousand flow arrivals
-// costs no closures; each flow's completion callback remains a closure
-// created once at flow start.
+// launcher event kinds: attach flow arg's sender (on the source host's
+// shard) or its receiver (on the destination host's shard).
+const (
+	launchSrc uint8 = iota
+	launchDst
+)
+
+// launcherShard is one shard's completion bookkeeping, written only by
+// that shard's goroutine during windows and read by the coordinator at
+// barriers. Padded so two shards' counters never share a cache line.
+type launcherShard struct {
+	done       int      // flows whose destination lives on this shard
+	incastDone sim.Time // latest incast completion seen on this shard
+	_          [6]uint64
+}
+
+// launcher wires each flow's transports at the flow's arrival time and
+// collects completions. It is a sim.Handler (arg = flow index) and the
+// flows' transport.Completer, so launching and completing a thousand
+// flows schedules no closures; per-flow state lives in index-addressed
+// slices whose slots are each written by exactly one shard.
 type launcher struct {
 	s      Scenario
-	eng    *sim.Engine
 	net    *fabric.Network
 	bdpCap int
 	minRTT sim.Duration
 
 	specs       []workload.Spec
 	flows       []*transport.Flow
-	stats       []senderStats
-	col         metrics.Collector
-	remaining   int
+	stats       []senderStats        // [i] written by the shard of flow i's source
+	rcvs        []*rocev2.Receiver   // [i] written by the shard of flow i's destination
+	recs        []metrics.FlowRecord // [i] written by the shard of flow i's destination
+	shard       []launcherShard
+	col         metrics.Collector // folded from recs after the run, in flow order
 	incastFlows int
-	incastDone  sim.Time
 }
 
 // HandleEvent implements sim.Handler: flow arg arrives.
-func (l *launcher) HandleEvent(_ uint8, arg uint64) { l.start(int(arg)) }
+func (l *launcher) HandleEvent(kind uint8, arg uint64) {
+	if kind == launchSrc {
+		l.startSender(int(arg))
+	} else {
+		l.startReceiver(int(arg))
+	}
+}
 
-// start attaches flow i's sender and receiver to their NICs.
-func (l *launcher) start(i int) {
+// allDone reports whether every flow completed — the windowed run's stop
+// condition, polled at barriers where all shards are quiescent.
+func (l *launcher) allDone() bool {
+	done := 0
+	for i := range l.shard {
+		done += l.shard[i].done
+	}
+	return done == len(l.specs)
+}
+
+// FlowDone implements transport.Completer: flow fl's last packet arrived.
+// Runs on the shard owning the flow's destination host; every slot it
+// writes is owned by that shard.
+func (l *launcher) FlowDone(fl *transport.Flow, now sim.Time) {
+	i := int(fl.ID) - 1
+	spec := l.specs[i]
+	l.recs[i] = metrics.FlowRecord{
+		Size:         spec.Size,
+		Pkts:         fl.Pkts,
+		FCT:          now.Sub(spec.Start),
+		Ideal:        l.net.IdealFCT(spec.Src, spec.Dst, spec.Size),
+		SinglePacket: fl.Pkts == 1,
+	}
+	sh := &l.shard[l.net.ShardOf(fl.Dst)]
+	if i < l.incastFlows && now > sh.incastDone {
+		sh.incastDone = now
+	}
+	sh.done++
+}
+
+// startSender attaches flow i's sender (and its congestion controller) to
+// the source NIC. Runs on the source host's shard.
+func (l *launcher) startSender(i int) {
 	s := l.s
 	spec := l.specs[i]
 	fl := l.flows[i]
-	net := l.net
-	isIncast := i < l.incastFlows
+	src := l.net.NIC(spec.Src)
 
-	onDone := func(now sim.Time) {
-		l.col.Add(metrics.FlowRecord{
-			Size:         spec.Size,
-			Pkts:         fl.Pkts,
-			FCT:          now.Sub(spec.Start),
-			Ideal:        net.IdealFCT(spec.Src, spec.Dst, spec.Size),
-			SinglePacket: fl.Pkts == 1,
-		})
-		if isIncast && now > l.incastDone {
-			l.incastDone = now
-		}
-		l.remaining--
-		if l.remaining == 0 {
-			l.eng.Stop()
-		}
-	}
-
-	ctrl := buildCC(l.eng, s, l.bdpCap, l.minRTT)
+	ctrl := buildCC(src, s, l.bdpCap, l.minRTT)
 	switch s.Transport {
 	case TransportIRN:
-		p := core.Params{
-			MTU:              s.MTU,
-			BDPCap:           l.bdpCap,
-			Recovery:         s.Recovery,
-			RTOLow:           s.RTOLow,
-			RTOHigh:          s.RTOHigh,
-			RTOLowThreshold:  s.RTOLowN,
-			DynamicRTO:       s.DynamicRTO,
-			NackThreshold:    s.NackThreshold,
-			BackoffOnLoss:    s.BackoffOnLoss || s.CC == CCAIMD || s.CC == CCDCTCP,
-			RetxFetchDelay:   s.RetxFetchDelay,
-			ExtraHeaderBytes: s.ExtraHeader,
-			ECT:              s.CC == CCDCQCN || s.CC == CCDCTCP,
-		}
-		if s.NoBDPFC {
-			p.BDPCap = 0
-		}
-		snd := core.NewSender(net.NIC(spec.Src), fl, p, ctrl)
-		rcv := core.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
-		net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
-		net.NIC(spec.Src).AttachSource(snd)
+		snd := core.NewSender(src, fl, l.irnParams(), ctrl)
+		src.AttachSource(snd)
 		l.stats[i] = irnStats{snd}
-
 	case TransportRoCE:
-		p := rocev2.Params{
-			MTU:     s.MTU,
-			RTOHigh: s.RTOHigh,
-			// The paper disables RoCE timeouts when PFC guarantees
-			// losslessness (§4.1); injected faults break that guarantee,
-			// so fault scenarios keep timeouts even under PFC.
-			DisableTimeout: s.PFC && !s.Faults.Enabled() && !s.RoCETimeouts,
-			PerPacketAck:   s.CC == CCTimely,
-			ECT:            s.CC == CCDCQCN,
-		}
-		snd := rocev2.NewSender(net.NIC(spec.Src), fl, p, ctrl)
-		rcv := rocev2.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
-		net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
-		net.NIC(spec.Src).AttachSource(snd)
-		l.stats[i] = roceStats{snd, rcv}
-
+		snd := rocev2.NewSender(src, fl, l.roceParams(), ctrl)
+		src.AttachSource(snd)
+		l.stats[i] = roceStats{s: snd}
 	case TransportTCP:
-		p := tcpstack.DefaultParams(s.MTU)
-		snd := tcpstack.NewSender(net.NIC(spec.Src), fl, p)
-		rcv := tcpstack.NewReceiver(net.NIC(spec.Dst), fl, p, onDone)
-		net.NIC(spec.Dst).AttachSink(fl.ID, rcv)
-		net.NIC(spec.Src).AttachSource(snd)
+		snd := tcpstack.NewSender(src, fl, tcpstack.DefaultParams(s.MTU))
+		src.AttachSource(snd)
 		l.stats[i] = tcpStats{snd}
 	}
 }
 
-// buildCC constructs the per-flow congestion controller.
-func buildCC(eng *sim.Engine, s Scenario, bdpCap int, minRTT sim.Duration) transport.Controller {
+// startReceiver attaches flow i's receiver to the destination NIC. Runs
+// on the destination host's shard — which may differ from the sender's;
+// splitting the attachment keeps each shard touching only its own nodes.
+func (l *launcher) startReceiver(i int) {
+	s := l.s
+	fl := l.flows[i]
+	dst := l.net.NIC(fl.Dst)
+
+	switch s.Transport {
+	case TransportIRN:
+		dst.AttachSink(fl.ID, core.NewReceiver(dst, fl, l.irnParams(), l))
+	case TransportRoCE:
+		rcv := rocev2.NewReceiver(dst, fl, l.roceParams(), l)
+		dst.AttachSink(fl.ID, rcv)
+		l.rcvs[i] = rcv
+	case TransportTCP:
+		dst.AttachSink(fl.ID, tcpstack.NewReceiver(dst, fl, tcpstack.DefaultParams(s.MTU), l))
+	}
+}
+
+// irnParams derives the IRN transport parameters from the scenario.
+func (l *launcher) irnParams() core.Params {
+	s := l.s
+	p := core.Params{
+		MTU:              s.MTU,
+		BDPCap:           l.bdpCap,
+		Recovery:         s.Recovery,
+		RTOLow:           s.RTOLow,
+		RTOHigh:          s.RTOHigh,
+		RTOLowThreshold:  s.RTOLowN,
+		DynamicRTO:       s.DynamicRTO,
+		NackThreshold:    s.NackThreshold,
+		BackoffOnLoss:    s.BackoffOnLoss || s.CC == CCAIMD || s.CC == CCDCTCP,
+		RetxFetchDelay:   s.RetxFetchDelay,
+		ExtraHeaderBytes: s.ExtraHeader,
+		ECT:              s.CC == CCDCQCN || s.CC == CCDCTCP,
+	}
+	if s.NoBDPFC {
+		p.BDPCap = 0
+	}
+	return p
+}
+
+// roceParams derives the RoCE transport parameters from the scenario.
+func (l *launcher) roceParams() rocev2.Params {
+	s := l.s
+	return rocev2.Params{
+		MTU:     s.MTU,
+		RTOHigh: s.RTOHigh,
+		// The paper disables RoCE timeouts when PFC guarantees
+		// losslessness (§4.1); injected faults break that guarantee,
+		// so fault scenarios keep timeouts even under PFC.
+		DisableTimeout: s.PFC && !s.Faults.Enabled() && !s.RoCETimeouts,
+		PerPacketAck:   s.CC == CCTimely,
+		ECT:            s.CC == CCDCQCN,
+	}
+}
+
+// buildCC constructs the per-flow congestion controller on the sender's
+// endpoint (engine and rank clock of the source host's shard).
+func buildCC(ep transport.Endpoint, s Scenario, bdpCap int, minRTT sim.Duration) transport.Controller {
 	switch s.CC {
 	case CCTimely:
 		return cc.NewTimely(cc.DefaultTimelyConfig(s.Gbps, minRTT))
 	case CCDCQCN:
-		return cc.NewDCQCN(eng, cc.DefaultDCQCNConfig(s.Gbps))
+		return cc.NewDCQCN(ep.Engine(), ep.Clock(), cc.DefaultDCQCNConfig(s.Gbps))
 	case CCAIMD:
 		return cc.NewAIMD(bdpCap)
 	case CCDCTCP:

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shardMatrix is the determinism matrix of the sharded engine: every
+// shard count a run might use, asserted bit-identical to serial. 8 on a
+// k=6 tree also exercises the partitioner's clamp-to-pods path.
+var shardMatrix = []int{1, 2, 4, 8}
+
+// shardScale keeps the full preset sweep fast while still driving drops,
+// retransmissions, PFC (cross-shard pause frames), ECN marking and
+// incast through the partitioned datapath.
+func shardScale() Scale {
+	return Scale{Flows: 40, IncastBytes: 300_000, IncastReps: 1}
+}
+
+// stripShards erases the one field allowed to differ between a sharded
+// and a serial Result: the knob itself.
+func stripShards(r Result) Result {
+	r.Scenario.Shards = 0
+	return r
+}
+
+// TestShardDeterminismAcrossPresets pins the tentpole contract: for every
+// fig* preset, running each scenario at every shard count produces
+// Results — metrics, event counts, census, pool accounting, everything —
+// bit-identical to the serial run. Fault presets (figloss, figflap)
+// force a single shard by the documented arbitration; they run through
+// the same assertion to pin that the knob is a no-op there too.
+//
+// CI runs this under -race as well: the per-shard ownership story
+// (disjoint launcher slots, partitioned stats, barrier-ordered channel
+// drains) is checked by the race detector on every sharded preset run.
+func TestShardDeterminismAcrossPresets(t *testing.T) {
+	sc := shardScale()
+	for _, e := range All(sc) {
+		if !strings.HasPrefix(e.ID, "fig") {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			for _, s := range e.Scenarios {
+				serial := stripShards(Run(s))
+				for _, shards := range shardMatrix {
+					if shards == 1 {
+						continue
+					}
+					ss := s
+					ss.Shards = shards
+					got := stripShards(Run(ss))
+					if !reflect.DeepEqual(got, serial) {
+						t.Fatalf("%s at %d shards diverged from serial:\nserial:  %+v\nsharded: %+v",
+							s.Name, shards, serial, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardWorkerReuse: the zero-rebuild path must hold for sharded
+// fabrics too — a worker alternating shard counts (rebuild) and
+// repeating one (reset) stays bit-identical to fresh construction.
+func TestShardWorkerReuse(t *testing.T) {
+	seq := []Scenario{
+		{Name: "s2", NumFlows: 100, Seed: 11, Shards: 2},
+		{Name: "s2b", NumFlows: 100, Seed: 23, Shards: 2}, // same key: reset path
+		{Name: "s4", NumFlows: 100, Seed: 11, Shards: 4},  // shard count changes the key
+		{Name: "s1", NumFlows: 100, Seed: 11},             // back to serial
+		{Name: "pfc2", NumFlows: 100, Seed: 7, Shards: 2, PFC: true, Transport: TransportRoCE},
+	}
+	w := NewWorker()
+	for i, s := range seq {
+		fresh := Run(s)
+		reused := w.Run(s)
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Fatalf("step %d (%s): sharded worker reuse diverged from fresh run", i, s.Name)
+		}
+	}
+}
+
+// TestFleetShardArbitration pins the CPU arbitration rule: workers ×
+// shards never exceeds GOMAXPROCS, and the capped fleet still returns
+// bit-identical results.
+func TestFleetShardArbitration(t *testing.T) {
+	mk := func(name string, shards int) Scenario {
+		return Scenario{Name: name, NumFlows: 80, Seed: 5, Shards: shards}
+	}
+	e := Experiment{ID: "arb", Scenarios: []Scenario{mk("a", 4), mk("b", 4)}}
+	wide := RunFleet(e, FleetConfig{Parallel: 64})
+	serial := RunFleet(e, FleetConfig{Parallel: 1})
+	if !reflect.DeepEqual(wide.Trials, serial.Trials) {
+		t.Fatal("capped fleet diverged from serial fleet")
+	}
+}

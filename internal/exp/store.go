@@ -48,7 +48,13 @@ func (r Row) Key() string {
 // over its JSON form, which covers every knob — they are all exported
 // plain fields) into a short stable token for row keys.
 func Fingerprint(s Scenario) string {
-	data, err := json.Marshal(s.normalize())
+	n := s.normalize()
+	// Intra-run sharding is a wall-clock knob with bit-identical results
+	// (the determinism tests pin it), so it is not part of a result's
+	// configuration identity: a sharded rerun must land on — and compare
+	// against — the serial run's row.
+	n.Shards = 0
+	data, err := json.Marshal(n)
 	if err != nil {
 		// Scenario is a plain struct; Marshal cannot fail on it.
 		panic(err)

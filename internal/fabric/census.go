@@ -39,10 +39,13 @@ func (c *Census) Exits() uint64 {
 	return c.Delivered + c.OverflowDrops + c.InjectDrops + c.FaultDrops + c.Corrupted
 }
 
-// InFlightPackets counts the packets currently inside the fabric: buffered
-// in switch virtual output queues or riding a link's in-flight window
-// (including NIC egress links). With Census.Exits it closes the
-// conservation equation at any instant between events.
+// InFlightPackets counts the packets currently inside the fabric:
+// buffered in switch virtual output queues, riding a link's in-flight
+// window (including NIC egress links), or resident in a cross-shard
+// boundary channel between serialization end and hand-off to the
+// receiving node. With Census.Exits it closes the conservation equation
+// at any quiescent instant (between events serially; at a window barrier
+// sharded).
 func (net *Network) InFlightPackets() int {
 	n := 0
 	for _, nic := range net.nics {
@@ -57,6 +60,9 @@ func (net *Network) InFlightPackets() int {
 				n += o.voq[i].len()
 			}
 		}
+	}
+	for _, c := range net.chans {
+		n += c.resident()
 	}
 	return n
 }

@@ -158,8 +158,8 @@ func TestSinglePacketDeliveryTiming(t *testing.T) {
 	if rec.times[0] != want {
 		t.Errorf("arrival = %d ps, want %d ps", int64(rec.times[0]), int64(want))
 	}
-	if net.Stats.Delivered != 1 || net.Stats.Drops != 0 {
-		t.Errorf("stats: %+v", net.Stats)
+	if net.Stats().Delivered != 1 || net.Stats().Drops != 0 {
+		t.Errorf("stats: %+v", net.Stats())
 	}
 }
 
@@ -204,11 +204,11 @@ func TestDropTailWithoutPFC(t *testing.T) {
 	net.NIC(1).AttachSource(newBlaster(2, 1, 2, 2000, cfg.MTU))
 	eng.Run()
 
-	if net.Stats.Drops == 0 {
+	if net.Stats().Drops == 0 {
 		t.Error("expected drops under 2:1 overload without PFC")
 	}
-	if len(rec.times)+int(net.Stats.Drops) != 4000 {
-		t.Errorf("delivered %d + dropped %d != 4000", len(rec.times), net.Stats.Drops)
+	if len(rec.times)+int(net.Stats().Drops) != 4000 {
+		t.Errorf("delivered %d + dropped %d != 4000", len(rec.times), net.Stats().Drops)
 	}
 }
 
@@ -225,13 +225,13 @@ func TestPFCPreventsDrops(t *testing.T) {
 	net.NIC(1).AttachSource(newBlaster(2, 1, 2, 2000, cfg.MTU))
 	eng.Run()
 
-	if net.Stats.Drops != 0 {
-		t.Errorf("PFC enabled but %d drops", net.Stats.Drops)
+	if net.Stats().Drops != 0 {
+		t.Errorf("PFC enabled but %d drops", net.Stats().Drops)
 	}
-	if net.Stats.PauseFrames == 0 {
+	if net.Stats().PauseFrames == 0 {
 		t.Error("expected pause frames under overload")
 	}
-	if net.Stats.ResumeFrames == 0 {
+	if net.Stats().ResumeFrames == 0 {
 		t.Error("expected resume frames as buffers drain")
 	}
 	if len(rec.times) != 4000 {
@@ -262,8 +262,8 @@ func TestECNMarking(t *testing.T) {
 	if marked == 0 {
 		t.Error("no packets CE-marked despite persistent congestion")
 	}
-	if uint64(marked) != net.Stats.ECNMarked {
-		t.Errorf("marked %d != stats %d", marked, net.Stats.ECNMarked)
+	if uint64(marked) != net.Stats().ECNMarked {
+		t.Errorf("marked %d != stats %d", marked, net.Stats().ECNMarked)
 	}
 }
 

@@ -13,13 +13,14 @@ import (
 // checkCensus asserts packet conservation and pool accounting after a run.
 func checkCensus(t *testing.T, net *Network) {
 	t.Helper()
-	c := &net.Census
+	cv := net.Census()
+	c := &cv
 	inFlight := uint64(net.InFlightPackets())
 	if c.Injected != c.Exits()+inFlight {
 		t.Errorf("census: injected %d != exits %d + in-flight %d (%+v)",
 			c.Injected, c.Exits(), inFlight, *c)
 	}
-	live := net.pool.Allocs - uint64(net.pool.FreeLen())
+	live := net.Pool().Allocs - uint64(net.Pool().FreeLen())
 	want := inFlight + uint64(net.CtrlBacklog())
 	if live != want {
 		t.Errorf("pool: %d live packets, want %d (in-flight + ctrl backlog)", live, want)
@@ -62,8 +63,8 @@ func TestTotalLossDropsEverything(t *testing.T) {
 	if len(rec.times) != 0 {
 		t.Fatalf("delivered %d packets across a fully lossy link", len(rec.times))
 	}
-	if net.Stats.FaultDrops != 100 {
-		t.Errorf("fault drops = %d, want 100", net.Stats.FaultDrops)
+	if net.Stats().FaultDrops != 100 {
+		t.Errorf("fault drops = %d, want 100", net.Stats().FaultDrops)
 	}
 	checkCensus(t, net)
 }
@@ -76,17 +77,17 @@ func TestCorruptionCountedSeparately(t *testing.T) {
 	net.NIC(0).AttachSource(newPooledBlaster(net, 1, 0, 1, pkts, net.Cfg.MTU))
 	eng.Run()
 
-	if net.Stats.Corrupted == 0 {
+	if net.Stats().Corrupted == 0 {
 		t.Fatal("no packets corrupted at 30% rate")
 	}
-	if net.Stats.FaultDrops != 0 {
-		t.Errorf("corruption leaked into FaultDrops (%d)", net.Stats.FaultDrops)
+	if net.Stats().FaultDrops != 0 {
+		t.Errorf("corruption leaked into FaultDrops (%d)", net.Stats().FaultDrops)
 	}
-	if got := len(rec.times) + int(net.Stats.Corrupted); got != pkts {
-		t.Errorf("delivered %d + corrupted %d != %d", len(rec.times), net.Stats.Corrupted, pkts)
+	if got := len(rec.times) + int(net.Stats().Corrupted); got != pkts {
+		t.Errorf("delivered %d + corrupted %d != %d", len(rec.times), net.Stats().Corrupted, pkts)
 	}
 	// ~30% per link direction over 2 hops ⇒ ~51% end-to-end; allow slack.
-	if frac := float64(net.Stats.Corrupted) / pkts; frac < 0.35 || frac > 0.65 {
+	if frac := float64(net.Stats().Corrupted) / pkts; frac < 0.35 || frac > 0.65 {
 		t.Errorf("corrupted fraction %.2f outside [0.35, 0.65]", frac)
 	}
 	checkCensus(t, net)
@@ -111,11 +112,11 @@ func TestLinkFlapKillsInFlightAndRecovers(t *testing.T) {
 	net.NIC(0).AttachSource(newPooledBlaster(net, 1, 0, 1, pkts, net.Cfg.MTU))
 	eng.Run()
 
-	if net.Stats.FaultDrops == 0 {
+	if net.Stats().FaultDrops == 0 {
 		t.Error("flap killed no in-flight packets")
 	}
-	if got := len(rec.times) + int(net.Stats.FaultDrops); got != pkts {
-		t.Errorf("delivered %d + killed %d != %d", len(rec.times), net.Stats.FaultDrops, pkts)
+	if got := len(rec.times) + int(net.Stats().FaultDrops); got != pkts {
+		t.Errorf("delivered %d + killed %d != %d", len(rec.times), net.Stats().FaultDrops, pkts)
 	}
 	// No arrival during the outage window (plus the propagation tail).
 	for _, at := range rec.times {
@@ -196,7 +197,7 @@ func TestECMPAvoidsDownedLink(t *testing.T) {
 
 	if delivered != flows*pkts {
 		t.Errorf("delivered %d/%d packets around the downed uplink (faultdrops=%d, drops=%d)",
-			delivered, flows*pkts, net.Stats.FaultDrops, net.Stats.Drops)
+			delivered, flows*pkts, net.Stats().FaultDrops, net.Stats().Drops)
 	}
 	checkCensus(t, net)
 }

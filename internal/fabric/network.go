@@ -15,51 +15,104 @@ type node interface {
 	pfcFrame(from packet.NodeID, pause bool)
 }
 
-// Network instantiates a topology into a running fabric on an engine.
+// partition is one shard's slice of the fabric: the nodes assigned to one
+// engine, plus everything those nodes touch on the datapath — packet
+// pool, stats, census, the down-port count gating ECMP rescans — so that
+// a shard goroutine never writes state owned by another shard. A
+// single-shard fabric has exactly one partition and runs the exact same
+// code paths.
+type partition struct {
+	eng  *sim.Engine
+	pool *packet.Pool
+
+	stats     Stats
+	census    Census
+	downPorts int
+
+	// inbox lists the boundary channels this partition consumes; drained
+	// at every window barrier.
+	inbox []*linkChan
+}
+
+// Network instantiates a topology into a running fabric over one or more
+// shard engines.
 type Network struct {
+	// Eng is partition 0's engine — the only engine of a single-shard
+	// fabric, which is how tests and examples drive the network directly.
 	Eng  *sim.Engine
 	Topo topo.Topology
 	Cfg  Config
+
+	parts  []*partition
+	partOf []int       // node → partition index
+	clks   []sim.Clock // node → rank clock (id = node+1)
+	envClk sim.Clock   // id 0: fault-model transitions, ordered before any node's events
+	chans  []*linkChan // boundary channels (empty when single-shard)
 
 	nodes    []node // indexed by NodeID
 	nics     []*NIC // indexed by host NodeID
 	switches []*Switch
 	ports    []*outPort // indexed by directed-link index (2*link, 2*link+1)
-	rng      *sim.RNG
-	pool     *packet.Pool
-	// downPorts counts the directed links currently down (maintained by
-	// applyChange): ECMP scans port down state only while it is non-zero,
-	// keeping the fault-free and between-flap datapath at full speed.
-	downPorts int
-
-	Stats  Stats
-	Census Census
 }
 
-// New builds the fabric: one NIC per host, one Switch per switch node, and
-// two unidirectional ports per link.
+// New builds a single-shard fabric: one NIC per host, one Switch per
+// switch node, and two unidirectional ports per link, all on one engine.
 func New(eng *sim.Engine, t topo.Topology, cfg Config) *Network {
+	return NewPartitioned([]*sim.Engine{eng}, nil, t, cfg)
+}
+
+// NewPartitioned builds the fabric across one engine per shard. assign
+// maps every node to an engine index (nil assigns everything to engine
+// 0); links between nodes on different engines become cross-shard
+// channels with the link's propagation delay as lookahead, drained by
+// Drain at the window barriers of sim.RunWindows.
+//
+// The fault model and the LossInject hook require the whole fabric on one
+// engine: both mutate link state that the two ends of a boundary link
+// would race on. Callers gate sharding off for fault runs (the experiment
+// layer does) — a partitioned fabric with faults panics here rather than
+// corrupting results.
+func NewPartitioned(engs []*sim.Engine, assign []int, t topo.Topology, cfg Config) *Network {
 	if cfg.MTU <= 0 {
 		panic("fabric: config MTU must be positive")
 	}
-	net := &Network{
-		Eng:  eng,
-		Topo: t,
-		Cfg:  cfg,
-		rng:  sim.NewRNG(cfg.Seed ^ 0xfab51c),
-		pool: packet.NewPool(),
+	if len(engs) == 0 {
+		panic("fabric: need at least one engine")
+	}
+	if len(engs) > 1 && (cfg.Faults != nil || cfg.LossInject != nil) {
+		panic("fabric: fault injection requires a single-shard fabric")
+	}
+	nodes := t.Nodes()
+	if assign == nil {
+		assign = make([]int, len(nodes))
 	}
 
-	nodes := t.Nodes()
-	net.nodes = make([]node, len(nodes))
-	net.nics = make([]*NIC, t.Hosts())
+	net := &Network{
+		Eng:    engs[0],
+		Topo:   t,
+		Cfg:    cfg,
+		partOf: assign,
+		clks:   make([]sim.Clock, len(nodes)),
+		envClk: sim.NewClock(0),
+		nodes:  make([]node, len(nodes)),
+		nics:   make([]*NIC, t.Hosts()),
+	}
+	for i := range net.clks {
+		net.clks[i] = sim.NewClock(uint64(i) + 1)
+	}
+	net.parts = make([]*partition, len(engs))
+	for i, eng := range engs {
+		net.parts[i] = &partition{eng: eng, pool: packet.NewPool()}
+	}
+
 	for _, n := range nodes {
+		part := net.parts[assign[n.ID]]
 		if n.Kind == topo.Host {
-			nic := newNIC(n.ID, net)
+			nic := newNIC(n.ID, net, part)
 			net.nodes[n.ID] = nic
 			net.nics[n.ID] = nic
 		} else {
-			sw := newSwitch(n.ID, net)
+			sw := newSwitch(n.ID, net, part)
 			net.nodes[n.ID] = sw
 			net.switches = append(net.switches, sw)
 		}
@@ -76,35 +129,63 @@ func New(eng *sim.Engine, t topo.Topology, cfg Config) *Network {
 		sw.finalize()
 	}
 
-	// Schedule the fault model's link transitions (flaps, degradations) as
-	// typed events. They are queued before any packet event, so at equal
-	// timestamps a transition applies first — deterministically.
-	for d, fl := range cfg.Faults.Dirs() {
+	net.scheduleFaults(cfg.Faults)
+	return net
+}
+
+// scheduleFaults queues the fault model's link transitions (flaps,
+// degradations) as typed events. They ride the environment clock (rank ID
+// 0, below every node), so at equal timestamps a transition applies
+// before any packet event — deterministically.
+func (net *Network) scheduleFaults(m *fault.Model) {
+	for d, fl := range m.Dirs() {
 		if fl == nil {
 			continue
 		}
 		for ci, ch := range fl.Sched {
-			eng.ScheduleEvent(ch.At, net, netFault, uint64(d)<<32|uint64(ci))
+			net.Eng.ScheduleEventFrom(&net.envClk, ch.At, net, netFault, uint64(d)<<32|uint64(ci))
 		}
 	}
-	return net
 }
 
-// wire creates the unidirectional port from → to and returns it.
+// wire creates the unidirectional port from → to and returns it. A
+// boundary crossing (endpoints on different partitions) gets a
+// cross-shard channel in place of direct delivery.
 func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
+	owner := net.parts[net.partOf[from]]
 	dst := net.nodes[to]
-	deliver := func(pkt *packet.Packet) { dst.receive(pkt, from) }
+	clk := &net.clks[from]
+
+	var (
+		deliver func(pkt *packet.Packet)
+		xchan   *linkChan
+	)
+	if net.partOf[from] != net.partOf[to] {
+		consumer := net.parts[net.partOf[to]]
+		xchan = &linkChan{
+			dst:  dst,
+			from: from,
+			eng:  consumer.eng,
+			clk:  clk,
+		}
+		consumer.inbox = append(consumer.inbox, xchan)
+		net.chans = append(net.chans, xchan)
+	} else {
+		deliver = func(pkt *packet.Packet) { dst.receive(pkt, from) }
+	}
 
 	switch n := net.nodes[from].(type) {
 	case *NIC:
 		n.egress = outPort{
-			eng:     net.Eng,
-			net:     net,
+			eng:     owner.eng,
+			clk:     clk,
+			part:    owner,
 			rate:    net.Cfg.Rate,
 			curRate: net.Cfg.Rate,
 			prop:    net.Cfg.Prop,
 			flt:     flt,
 			origin:  true,
+			xchan:   xchan,
 			deliver: deliver,
 			source:  n.nextPacket,
 		}
@@ -113,12 +194,14 @@ func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 		idx := n.addPort(to)
 		o := n.out[idx]
 		o.port = outPort{
-			eng:     net.Eng,
-			net:     net,
+			eng:     owner.eng,
+			clk:     clk,
+			part:    owner,
 			rate:    net.Cfg.Rate,
 			curRate: net.Cfg.Rate,
 			prop:    net.Cfg.Prop,
 			flt:     flt,
+			xchan:   xchan,
 			deliver: deliver,
 			source:  o.nextPacket,
 		}
@@ -129,26 +212,38 @@ func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 }
 
 // Reset returns the fabric to its just-built state for a new run on the
-// same engine and topology, under a new seed and fault model: every port,
-// switch and NIC resets, stats and census zero, the ECN RNG reseeds, and
-// the fault schedule is re-queued as typed events — exactly the sequence
-// New performs, so a reset run is bit-identical to a freshly constructed
-// one. The caller must Engine.Reset() first (Reset schedules fault events
-// on the engine's clean queue). The packet pool keeps its free list warm
-// across runs; only its counters restart.
+// same engines and topology, under a new seed and fault model: every
+// port, switch and NIC resets, stats and census zero, the per-switch ECN
+// RNG streams reseed, boundary channels empty, and the fault schedule is
+// re-queued as typed events — exactly the sequence NewPartitioned
+// performs, so a reset run is bit-identical to a freshly constructed one.
+// The caller must Engine.Reset() every shard engine first (Reset
+// schedules fault events on clean queues). The packet pools keep their
+// free lists warm across runs; only their counters restart.
 //
 // This is the zero-rebuild trial path: the fleet runner reuses one
 // fabric per worker across the trials of a scenario instead of
 // reconstructing topology, routing tables, VOQ matrices and port arrays
 // per trial.
 func (net *Network) Reset(seed uint64, faults *fault.Model) {
+	if len(net.parts) > 1 && faults != nil {
+		panic("fabric: fault injection requires a single-shard fabric")
+	}
 	net.Cfg.Seed = seed
 	net.Cfg.Faults = faults
-	net.rng = sim.NewRNG(seed ^ 0xfab51c)
-	net.pool.ResetStats()
-	net.Stats = Stats{}
-	net.Census = Census{}
-	net.downPorts = 0
+	for i := range net.clks {
+		net.clks[i].Reset()
+	}
+	net.envClk.Reset()
+	for _, p := range net.parts {
+		p.pool.ResetStats()
+		p.stats = Stats{}
+		p.census = Census{}
+		p.downPorts = 0
+	}
+	for _, c := range net.chans {
+		c.reset()
+	}
 	for i, l := 0, len(net.ports)/2; i < l; i++ {
 		net.ports[2*i].flt = faults.Dir(i, false)
 		net.ports[2*i+1].flt = faults.Dir(i, true)
@@ -160,14 +255,39 @@ func (net *Network) Reset(seed uint64, faults *fault.Model) {
 	}
 	for _, sw := range net.switches {
 		sw.reset()
+		sw.rng = ecnRNG(seed, sw.id)
 	}
-	for d, fl := range faults.Dirs() {
-		if fl == nil {
-			continue
-		}
-		for ci, ch := range fl.Sched {
-			net.Eng.ScheduleEvent(ch.At, net, netFault, uint64(d)<<32|uint64(ci))
-		}
+	net.scheduleFaults(faults)
+}
+
+// ecnRNG seeds one switch's ECN marking stream. Per-switch streams (not
+// one fabric-wide RNG) keep the marking decisions of each switch a pure
+// function of that switch's own traffic, which is what lets shards run
+// switches concurrently without perturbing results.
+func ecnRNG(seed uint64, id packet.NodeID) *sim.RNG {
+	return sim.NewRNG(sim.DeriveSeed(seed^0xfab51c, "ecn", int(id)))
+}
+
+// Shards reports the number of partitions the fabric runs across.
+func (net *Network) Shards() int { return len(net.parts) }
+
+// ShardOf returns the partition index owning a node.
+func (net *Network) ShardOf(n packet.NodeID) int { return net.partOf[n] }
+
+// EngineOf returns the engine owning a node's partition.
+func (net *Network) EngineOf(n packet.NodeID) *sim.Engine { return net.parts[net.partOf[n]].eng }
+
+// Clock returns a node's rank clock: external schedulers (the experiment
+// launcher's flow arrivals) rank their events under the node they touch,
+// keeping the canonical order shard-invariant.
+func (net *Network) Clock(n packet.NodeID) *sim.Clock { return &net.clks[n] }
+
+// Drain moves one shard's inbound cross-shard events into its engine —
+// the sim.RunWindows barrier hook. Must only run while every shard is
+// quiescent.
+func (net *Network) Drain(shard int) {
+	for _, c := range net.parts[shard].inbox {
+		c.drain()
 	}
 }
 
@@ -179,8 +299,55 @@ func (net *Network) NIC(h packet.NodeID) *NIC {
 	return net.nics[h]
 }
 
-// Pool returns the fabric's per-engine packet free-list.
-func (net *Network) Pool() *packet.Pool { return net.pool }
+// Pool returns the packet free-list of partition 0 — the fabric's only
+// pool when single-shard. Transports never call this; they use their
+// NIC's Pool, which is partition-correct.
+func (net *Network) Pool() *packet.Pool { return net.parts[0].pool }
+
+// PoolLive sums the packets currently checked out across every
+// partition's pool. Packets may die on a different shard than they were
+// allocated on (a boundary crossing hands the pointer over), making a
+// single pool's Live signed; the sum is the fabric-wide total.
+func (net *Network) PoolLive() int {
+	n := 0
+	for _, p := range net.parts {
+		n += p.pool.Live()
+	}
+	return n
+}
+
+// Stats sums the per-partition fabric counters.
+func (net *Network) Stats() Stats {
+	var t Stats
+	for _, p := range net.parts {
+		s := &p.stats
+		t.Delivered += s.Delivered
+		t.CtrlDeliv += s.CtrlDeliv
+		t.Drops += s.Drops
+		t.FaultDrops += s.FaultDrops
+		t.Corrupted += s.Corrupted
+		t.ECNMarked += s.ECNMarked
+		t.PauseFrames += s.PauseFrames
+		t.ResumeFrames += s.ResumeFrames
+		t.DataBytes += s.DataBytes
+	}
+	return t
+}
+
+// Census sums the per-partition conservation counters.
+func (net *Network) Census() Census {
+	var t Census
+	for _, p := range net.parts {
+		c := &p.census
+		t.Injected += c.Injected
+		t.Delivered += c.Delivered
+		t.OverflowDrops += c.OverflowDrops
+		t.InjectDrops += c.InjectDrops
+		t.FaultDrops += c.FaultDrops
+		t.Corrupted += c.Corrupted
+	}
+	return t
+}
 
 // Network sim.Handler event kinds: a PFC frame arriving at its target
 // (arg packs (from, to, pause) — see sendPFC) and a scheduled fault-model
@@ -196,13 +363,22 @@ const (
 // are link-local flow control below the packet queues: they are modelled
 // as arriving one propagation delay after generation, without competing
 // for queue space. The configured headroom absorbs the data still in
-// flight during that delay plus the packet being serialized.
+// flight during that delay plus the packet being serialized. A frame
+// crossing a shard boundary rides the from→to link's channel; either way
+// it is ranked under the generating switch's clock, so serial and sharded
+// runs order it identically.
 func (net *Network) sendPFC(from, to packet.NodeID, pause bool) {
+	sw := net.nodes[from].(*Switch)
+	port := &sw.out[sw.portOf[to]].port
+	if port.xchan != nil {
+		port.xchan.sendPFC(port.eng.Now().Add(net.Cfg.Prop), pause)
+		return
+	}
 	arg := uint64(uint32(from))<<33 | uint64(uint32(to))<<1
 	if pause {
 		arg |= 1
 	}
-	net.Eng.AfterEvent(net.Cfg.Prop, net, netPFC, arg)
+	port.eng.AfterEventFrom(port.clk, net.Cfg.Prop, net, netPFC, arg)
 }
 
 // HandleEvent implements sim.Handler: PFC frame arrival or a fault-model
@@ -216,20 +392,6 @@ func (net *Network) HandleEvent(kind uint8, arg uint64) {
 	from := packet.NodeID(int32(arg >> 33))
 	to := packet.NodeID(int32(arg >> 1 & 0xffffffff))
 	net.nodes[to].pfcFrame(from, arg&1 != 0)
-}
-
-// markECN samples the RED marking decision for an egress backlog of
-// queued bytes.
-func (net *Network) markECN(queued int) bool {
-	e := &net.Cfg.ECN
-	if queued <= e.KMin {
-		return false
-	}
-	if queued >= e.KMax {
-		return true
-	}
-	p := e.PMax * float64(queued-e.KMin) / float64(e.KMax-e.KMin)
-	return net.rng.Float64() < p
 }
 
 // QueuedBytes reports total bytes buffered across all switches — a

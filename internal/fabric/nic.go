@@ -17,8 +17,9 @@ import (
 // handed to the destination transport immediately, so hosts never assert
 // PFC toward the fabric. Hosts do obey PFC asserted by their switch.
 type NIC struct {
-	id  packet.NodeID
-	net *Network
+	id   packet.NodeID
+	net  *Network
+	part *partition // the shard slice this host belongs to
 
 	egress outPort
 	ctrl   pktQueue
@@ -39,14 +40,15 @@ type NIC struct {
 // timer expiring.
 const nicWake uint8 = 0
 
-func newNIC(id packet.NodeID, net *Network) *NIC {
+func newNIC(id packet.NodeID, net *Network, part *partition) *NIC {
 	n := &NIC{
 		id:        id,
 		net:       net,
+		part:      part,
 		srcByFlow: make(map[packet.FlowID]transport.Source),
 		sinks:     make(map[packet.FlowID]transport.Sink),
 	}
-	n.wake = sim.NewHandlerTimer(net.Eng, n, nicWake)
+	n.wake = sim.NewHandlerTimer(part.eng, &net.clks[id], n, nicWake)
 	return n
 }
 
@@ -75,13 +77,18 @@ func (n *NIC) reset() {
 func (n *NIC) ID() packet.NodeID { return n.id }
 
 // Now implements transport.Endpoint.
-func (n *NIC) Now() sim.Time { return n.net.Eng.Now() }
+func (n *NIC) Now() sim.Time { return n.part.eng.Now() }
 
-// Engine implements transport.Endpoint.
-func (n *NIC) Engine() *sim.Engine { return n.net.Eng }
+// Engine implements transport.Endpoint: the engine of the shard owning
+// this host.
+func (n *NIC) Engine() *sim.Engine { return n.part.eng }
 
-// Pool implements transport.Endpoint: the fabric's packet free-list.
-func (n *NIC) Pool() *packet.Pool { return n.net.pool }
+// Clock implements transport.Endpoint: the host node's rank clock.
+func (n *NIC) Clock() *sim.Clock { return &n.net.clks[n.id] }
+
+// Pool implements transport.Endpoint: the owning shard's packet
+// free-list.
+func (n *NIC) Pool() *packet.Pool { return n.part.pool }
 
 // SendControl implements transport.Endpoint: queues a control packet with
 // strict priority on the egress port.
@@ -118,7 +125,7 @@ func (n *NIC) nextPacket() *packet.Packet {
 	if pkt := n.ctrl.pop(); pkt != nil {
 		return pkt
 	}
-	now := n.net.Eng.Now()
+	now := n.part.eng.Now()
 	var earliest sim.Time
 	haveWake := false
 
@@ -191,19 +198,19 @@ func (n *NIC) reap() {
 // HandleData/HandleControl — they read the fields they need and emit fresh
 // control packets instead, which every transport in this repo does.
 func (n *NIC) receive(pkt *packet.Packet, _ packet.NodeID) {
-	now := n.net.Eng.Now()
-	n.net.Census.Delivered++
+	now := n.part.eng.Now()
+	n.part.census.Delivered++
 	switch pkt.Type {
 	case packet.TypeData:
-		n.net.Stats.Delivered++
-		n.net.Stats.DataBytes += uint64(pkt.Wire)
+		n.part.stats.Delivered++
+		n.part.stats.DataBytes += uint64(pkt.Wire)
 		if sink, ok := n.sinks[pkt.Flow]; ok {
 			sink.HandleData(pkt, now)
 		} else {
 			n.Stray++
 		}
 	case packet.TypeAck, packet.TypeNack, packet.TypeCNP:
-		n.net.Stats.CtrlDeliv++
+		n.part.stats.CtrlDeliv++
 		if src, ok := n.srcByFlow[pkt.Flow]; ok {
 			src.HandleControl(pkt, now)
 		} else {
@@ -212,7 +219,7 @@ func (n *NIC) receive(pkt *packet.Packet, _ packet.NodeID) {
 	default:
 		n.Stray++
 	}
-	n.net.pool.Release(pkt)
+	n.part.pool.Release(pkt)
 }
 
 // pfcFrame pauses or resumes the NIC egress (PFC asserted by the edge

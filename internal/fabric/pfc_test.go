@@ -47,7 +47,7 @@ func TestPFCHeadOfLineBlocking(t *testing.T) {
 		if done == 0 {
 			t.Fatal("victim flow never completed")
 		}
-		return done - start, net.Stats
+		return done - start, net.Stats()
 	}
 
 	blocked, stats := victimFCT(true)
@@ -87,11 +87,11 @@ func TestPFCCascadesUpstream(t *testing.T) {
 	// 2:1 overload at host 3 for ~1.7 ms of traffic against a 240 KB
 	// buffer: the right switch must pause the left switch (shared link),
 	// and the left switch must in turn pause the sending hosts.
-	if net.Stats.PauseFrames < 4 {
-		t.Errorf("pause frames = %d; expected a cascade", net.Stats.PauseFrames)
+	if net.Stats().PauseFrames < 4 {
+		t.Errorf("pause frames = %d; expected a cascade", net.Stats().PauseFrames)
 	}
-	if net.Stats.Drops != 0 {
-		t.Errorf("drops = %d under PFC", net.Stats.Drops)
+	if net.Stats().Drops != 0 {
+		t.Errorf("drops = %d under PFC", net.Stats().Drops)
 	}
 }
 
@@ -116,7 +116,7 @@ func TestFabricDeterminism(t *testing.T) {
 			net.NIC(src).AttachSource(b)
 		}
 		eng.Run()
-		return net.Stats
+		return net.Stats()
 	}
 	a, b := run(), run()
 	if a != b {
@@ -141,11 +141,11 @@ func TestPFCHeadroomSufficient(t *testing.T) {
 		net.NIC(packet.NodeID(h)).AttachSource(newBlaster(packet.FlowID(h+1), packet.NodeID(h), 4, 2000, cfg.MTU))
 	}
 	eng.Run()
-	if net.Stats.Drops != 0 {
-		t.Errorf("4:1 overload dropped %d packets despite PFC", net.Stats.Drops)
+	if net.Stats().Drops != 0 {
+		t.Errorf("4:1 overload dropped %d packets despite PFC", net.Stats().Drops)
 	}
-	if net.Stats.Delivered != 8000 {
-		t.Errorf("delivered %d, want 8000", net.Stats.Delivered)
+	if net.Stats().Delivered != 8000 {
+		t.Errorf("delivered %d, want 8000", net.Stats().Delivered)
 	}
 }
 
@@ -205,7 +205,7 @@ func TestSharedBufferAbsorbsBursts(t *testing.T) {
 		net.NIC(0).AttachSource(newBlaster(1, 0, 4, 2000, cfg.MTU))
 		net.NIC(1).AttachSource(newBlaster(2, 1, 4, 2000, cfg.MTU))
 		eng.Run()
-		return net.Stats.Drops
+		return net.Stats().Drops
 	}
 	part := drops(false)
 	shared := drops(true)

@@ -36,9 +36,10 @@ const (
 // packet paired with exactly one portDeliver event — even across link
 // flaps — is what keeps the in-flight ring and the event queue in sync.
 type outPort struct {
-	eng  *sim.Engine
-	net  *Network // stats, census, and the pool faults release into
-	rate Rate     // configured rate; curRate applies degradation
+	eng  *sim.Engine // the owning node's shard engine
+	clk  *sim.Clock  // the owning node's rank clock
+	part *partition  // stats, census, and the pool faults release into
+	rate Rate        // configured rate; curRate applies degradation
 	prop sim.Duration
 
 	// curRate is the effective serialization rate: rate normally, scaled
@@ -56,7 +57,12 @@ type outPort struct {
 	// ready. Called only when the port is idle and unpaused.
 	source func() *packet.Packet
 	// deliver hands a packet to the remote end; called at arrival time.
+	// Nil on boundary ports, whose arrivals ride xchan instead.
 	deliver func(*packet.Packet)
+	// xchan, when non-nil, marks a boundary port: the link's receiver
+	// lives on another shard, and serialization end pushes the packet
+	// into this cross-shard channel instead of scheduling portDeliver.
+	xchan *linkChan
 
 	// inflight holds packets between transmission start and arrival at
 	// the peer: the tail is serializing, earlier entries are propagating.
@@ -80,11 +86,11 @@ func (o *outPort) kick() {
 		return
 	}
 	if o.origin {
-		o.net.Census.Injected++
+		o.part.census.Injected++
 	}
 	o.busy = true
 	o.inflight.push(pkt)
-	o.eng.AfterEvent(o.curRate.Serialize(pkt.Wire), o, portTxDone, 0)
+	o.eng.AfterEventFrom(o.clk, o.curRate.Serialize(pkt.Wire), o, portTxDone, 0)
 }
 
 // HandleEvent implements sim.Handler: port timing events.
@@ -92,9 +98,18 @@ func (o *outPort) HandleEvent(kind uint8, _ uint64) {
 	switch kind {
 	case portTxDone:
 		o.busy = false
-		// Arrival at the peer is one propagation delay after the last
-		// byte leaves.
-		o.eng.AfterEvent(o.prop, o, portDeliver, 0)
+		if o.xchan != nil {
+			// Boundary link: the receiver's shard takes over. Hand the
+			// packet to the cross-shard channel due one propagation
+			// delay out — the same instant, same rank draw, as the
+			// portDeliver event an interior port would schedule here.
+			// (Fault resolution is moot: fault models force one shard.)
+			o.xchan.send(o.eng.Now().Add(o.prop), o.inflight.pop())
+		} else {
+			// Arrival at the peer is one propagation delay after the
+			// last byte leaves.
+			o.eng.AfterEventFrom(o.clk, o.prop, o, portDeliver, 0)
+		}
 		o.kick()
 	case portDeliver:
 		pkt := o.inflight.pop()
@@ -102,16 +117,16 @@ func (o *outPort) HandleEvent(kind uint8, _ uint64) {
 		// packets that were in flight when it failed; then the in-flight
 		// loss draw; then the CRC check.
 		if o.down {
-			o.die(pkt, &o.net.Stats.FaultDrops, &o.net.Census.FaultDrops)
+			o.die(pkt, &o.part.stats.FaultDrops, &o.part.census.FaultDrops)
 			return
 		}
 		if o.flt != nil {
 			if o.flt.DropLoss() {
-				o.die(pkt, &o.net.Stats.FaultDrops, &o.net.Census.FaultDrops)
+				o.die(pkt, &o.part.stats.FaultDrops, &o.part.census.FaultDrops)
 				return
 			}
 			if o.flt.DropCorrupt() {
-				o.die(pkt, &o.net.Stats.Corrupted, &o.net.Census.Corrupted)
+				o.die(pkt, &o.part.stats.Corrupted, &o.part.census.Corrupted)
 				return
 			}
 		}
@@ -126,7 +141,7 @@ func (o *outPort) HandleEvent(kind uint8, _ uint64) {
 func (o *outPort) die(pkt *packet.Packet, stat, census *uint64) {
 	*stat++
 	*census++
-	o.net.pool.Release(pkt)
+	o.part.pool.Release(pkt)
 }
 
 // applyChange executes one scheduled fault transition on this link
@@ -137,12 +152,12 @@ func (o *outPort) applyChange(ch fault.Change) {
 	case fault.ChangeDown:
 		if !o.down {
 			o.down = true
-			o.net.downPorts++
+			o.part.downPorts++
 		}
 	case fault.ChangeUp:
 		if o.down {
 			o.down = false
-			o.net.downPorts--
+			o.part.downPorts--
 		}
 		o.kick()
 	case fault.ChangeRate:

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
 )
 
 // Switch is an input-queued switch with virtual output queues (one FIFO
@@ -9,8 +10,10 @@ import (
 // accounting, optional PFC generation, and RED/ECN marking — the switch
 // model of §4.1.
 type Switch struct {
-	id  packet.NodeID
-	net *Network
+	id   packet.NodeID
+	net  *Network
+	part *partition // the shard slice this switch belongs to
+	rng  *sim.RNG   // per-switch ECN marking stream
 
 	neighbors []packet.NodeID       // port index → neighbor node
 	portOf    map[packet.NodeID]int // neighbor node → port index
@@ -36,10 +39,12 @@ type swOut struct {
 }
 
 // newSwitch wires a switch shell; ports are attached by the Network.
-func newSwitch(id packet.NodeID, net *Network) *Switch {
+func newSwitch(id packet.NodeID, net *Network, part *partition) *Switch {
 	return &Switch{
 		id:     id,
 		net:    net,
+		part:   part,
+		rng:    ecnRNG(net.Cfg.Seed, id),
 		portOf: make(map[packet.NodeID]int),
 		salt:   mix64(uint64(id) + 0x5151_7eb5_c0de),
 	}
@@ -101,9 +106,9 @@ func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
 	// Injected losses (tests, failure-injection experiments). A drop is
 	// a packet death: the packet returns to the pool right here.
 	if cfg.LossInject != nil && cfg.LossInject(pkt) {
-		s.net.Stats.Drops++
-		s.net.Census.InjectDrops++
-		s.net.pool.Release(pkt)
+		s.part.stats.Drops++
+		s.part.census.InjectDrops++
+		s.part.pool.Release(pkt)
 		return
 	}
 
@@ -113,15 +118,15 @@ func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
 	// ports (total = ports × BufferBytes).
 	if cfg.SharedBuffer {
 		if s.shared+pkt.Wire > cfg.BufferBytes*len(s.in) {
-			s.net.Stats.Drops++
-			s.net.Census.OverflowDrops++
-			s.net.pool.Release(pkt)
+			s.part.stats.Drops++
+			s.part.census.OverflowDrops++
+			s.part.pool.Release(pkt)
 			return
 		}
 	} else if s.in[inIdx].bytes+pkt.Wire > cfg.BufferBytes {
-		s.net.Stats.Drops++
-		s.net.Census.OverflowDrops++
-		s.net.pool.Release(pkt)
+		s.part.stats.Drops++
+		s.part.census.OverflowDrops++
+		s.part.pool.Release(pkt)
 		return
 	}
 
@@ -129,9 +134,9 @@ func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
 	o := s.out[outIdx]
 
 	// RED/ECN marking against this output's backlog.
-	if cfg.ECN.Enabled && pkt.ECT && !pkt.CE && s.net.markECN(o.queued) {
+	if cfg.ECN.Enabled && pkt.ECT && !pkt.CE && s.markECN(o.queued) {
 		pkt.CE = true
-		s.net.Stats.ECNMarked++
+		s.part.stats.ECNMarked++
 	}
 
 	o.voq[inIdx].push(pkt)
@@ -142,7 +147,7 @@ func (s *Switch) receive(pkt *packet.Packet, from packet.NodeID) {
 	// PFC: assert X-OFF upstream when this input crosses the threshold.
 	if cfg.PFC && !s.in[inIdx].paused && s.in[inIdx].bytes > cfg.PFCThreshold() {
 		s.in[inIdx].paused = true
-		s.net.Stats.PauseFrames++
+		s.part.stats.PauseFrames++
 		s.net.sendPFC(s.id, from, true)
 	}
 
@@ -167,7 +172,7 @@ func (s *Switch) pickOutput(pkt *packet.Packet) int {
 		h ^= s.sprayCtr * 0x9e3779b97f4a7c15
 	}
 	hv := mix64(h ^ s.salt)
-	if s.net.downPorts > 0 {
+	if s.part.downPorts > 0 {
 		up := 0
 		for _, p := range ports {
 			if !s.out[p].port.down {
@@ -222,7 +227,7 @@ func (s *Switch) dequeued(inIdx int, pkt *packet.Packet) {
 	if cfg.PFC && s.in[inIdx].paused &&
 		s.in[inIdx].bytes <= cfg.PFCThreshold()-cfg.PFCHysteresis {
 		s.in[inIdx].paused = false
-		s.net.Stats.ResumeFrames++
+		s.part.stats.ResumeFrames++
 		s.net.sendPFC(s.id, s.neighbors[inIdx], false)
 	}
 }
@@ -236,6 +241,20 @@ func (s *Switch) pfcFrame(from packet.NodeID, pause bool) {
 	} else {
 		o.port.resume()
 	}
+}
+
+// markECN samples the RED marking decision for an egress backlog of
+// queued bytes, against this switch's own deterministic RNG stream.
+func (s *Switch) markECN(queued int) bool {
+	e := &s.net.Cfg.ECN
+	if queued <= e.KMin {
+		return false
+	}
+	if queued >= e.KMax {
+		return true
+	}
+	p := e.PMax * float64(queued-e.KMin) / float64(e.KMax-e.KMin)
+	return s.rng.Float64() < p
 }
 
 // queuedBytes reports the total bytes buffered at the switch (all inputs).

@@ -1,0 +1,115 @@
+package fabric
+
+import (
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// linkChan is the cross-shard channel of one boundary link direction: the
+// deterministic replacement for direct event scheduling when a link's
+// transmitter and receiver live on different shard engines. The producer
+// (the transmitting port's shard) appends occurrences during its safe
+// window; the coordinator drains them into the consumer engine at the
+// next barrier, re-using the rank each occurrence drew — from the
+// producing node's clock, at exactly the call site where serial execution
+// would have drawn it — so the merged order is the serial order, bit for
+// bit.
+//
+// Two occurrence kinds share the channel, both of which travel this link
+// direction with one propagation delay of latency (the lookahead that
+// makes the window protocol sound): packet arrivals, pushed at
+// serialization end, and PFC frames, pushed at generation.
+//
+// Occurrences are pushed in strictly increasing (at, rank) order — `at`
+// is producer-now plus a constant and ranks are one clock's sequence — so
+// the consumer-side FIFO pops in exactly the order the consumer engine
+// fires the matching events.
+//
+// Concurrency: inbox is touched by the producer shard during windows and
+// by the coordinator at barriers; fifo and delivered by the consumer
+// shard during windows and the coordinator at barriers. The window
+// barrier's channel operations order every access; nothing here needs a
+// lock.
+type linkChan struct {
+	dst  node          // receiving node
+	from packet.NodeID // transmitting node (receive/pfcFrame source)
+	eng  *sim.Engine   // consumer shard's engine
+	clk  *sim.Clock    // producing node's clock
+
+	inbox []chanEntry // produced this window, not yet drained
+	fifo  []chanEntry // drained, awaiting their engine events
+	head  int
+
+	sent      int // data packets pushed (producer-owned)
+	delivered int // data packets handed to dst (consumer-owned)
+}
+
+// chanEntry is one cross-shard occurrence.
+type chanEntry struct {
+	at    sim.Time
+	rank  uint64
+	pkt   *packet.Packet // nil → PFC frame
+	pause bool
+}
+
+// send pushes a packet arrival due at. Called by the producing port at
+// serialization end, in place of scheduling portDeliver.
+func (c *linkChan) send(at sim.Time, pkt *packet.Packet) {
+	c.inbox = append(c.inbox, chanEntry{at: at, rank: c.clk.Next(), pkt: pkt})
+	c.sent++
+}
+
+// sendPFC pushes a PFC frame due at.
+func (c *linkChan) sendPFC(at sim.Time, pause bool) {
+	c.inbox = append(c.inbox, chanEntry{at: at, rank: c.clk.Next(), pause: pause})
+}
+
+// drain moves pending occurrences into the consumer engine: one ranked
+// event per occurrence, payload kept in the channel's FIFO. Runs on the
+// coordinator at a window barrier.
+func (c *linkChan) drain() {
+	for i := range c.inbox {
+		e := c.inbox[i]
+		c.inbox[i] = chanEntry{}
+		c.fifo = append(c.fifo, e)
+		c.eng.ScheduleRanked(e.at, e.rank, c, 0, 0)
+	}
+	c.inbox = c.inbox[:0]
+}
+
+// HandleEvent implements sim.Handler: one drained occurrence coming due
+// on the consumer engine. Events fire in push order (see ordering note
+// above), so the FIFO head is always the matching occurrence.
+func (c *linkChan) HandleEvent(uint8, uint64) {
+	e := c.fifo[c.head]
+	c.fifo[c.head] = chanEntry{}
+	c.head++
+	if c.head == len(c.fifo) {
+		c.fifo, c.head = c.fifo[:0], 0
+	}
+	if e.pkt == nil {
+		c.dst.pfcFrame(c.from, e.pause)
+		return
+	}
+	c.delivered++
+	c.dst.receive(e.pkt, c.from)
+}
+
+// resident counts the data packets inside the channel — pushed but not
+// yet handed to the receiving node. They are in flight for conservation
+// purposes, exactly like packets riding an interior port's in-flight
+// ring. Only meaningful at quiescence.
+func (c *linkChan) resident() int { return c.sent - c.delivered }
+
+// reset empties the channel for a new run, dropping packet references but
+// keeping the arrays warm.
+func (c *linkChan) reset() {
+	for i := range c.inbox {
+		c.inbox[i] = chanEntry{}
+	}
+	for i := range c.fifo {
+		c.fifo[i] = chanEntry{}
+	}
+	c.inbox, c.fifo, c.head = c.inbox[:0], c.fifo[:0], 0
+	c.sent, c.delivered = 0, 0
+}

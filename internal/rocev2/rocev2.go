@@ -89,7 +89,7 @@ func NewSender(ep transport.Endpoint, flow *transport.Flow, p Params, ctrl trans
 		flow.Pkts = transport.NumPackets(flow.Size, p.MTU)
 	}
 	s := &Sender{ep: ep, pool: ep.Pool(), flow: flow, p: p, cc: ctrl, total: flow.Pkts}
-	s.probe = sim.NewHandlerTimer(ep.Engine(), s, senderProbe)
+	s.probe = sim.NewHandlerTimer(ep.Engine(), ep.Clock(), s, senderProbe)
 	return s
 }
 
@@ -224,11 +224,11 @@ type Receiver struct {
 	expected packet.PSN
 	total    int
 
-	nackedFor  packet.PSN // expected value already NACKed this episode (+1; 0 = none)
-	rto        *sim.Timer
-	complete   bool
-	onComplete func(now sim.Time)
-	cnp        *cc.CNPGenerator
+	nackedFor packet.PSN // expected value already NACKed this episode (+1; 0 = none)
+	rto       *sim.Timer
+	complete  bool
+	done      transport.Completer
+	cnp       *cc.CNPGenerator
 
 	// Stats.
 	Nacks, TimeoutNacks, Discards uint64
@@ -236,20 +236,20 @@ type Receiver struct {
 
 // NewReceiver builds a RoCE receiver. Its stall timer starts armed (the
 // requester knows the transfer is outstanding).
-func NewReceiver(ep transport.Endpoint, flow *transport.Flow, p Params, onComplete func(now sim.Time)) *Receiver {
+func NewReceiver(ep transport.Endpoint, flow *transport.Flow, p Params, done transport.Completer) *Receiver {
 	if flow.Pkts == 0 {
 		flow.Pkts = transport.NumPackets(flow.Size, p.MTU)
 	}
 	r := &Receiver{
-		ep:         ep,
-		pool:       ep.Pool(),
-		flow:       flow,
-		p:          p,
-		total:      flow.Pkts,
-		onComplete: onComplete,
-		cnp:        cc.NewCNPGenerator(),
+		ep:    ep,
+		pool:  ep.Pool(),
+		flow:  flow,
+		p:     p,
+		total: flow.Pkts,
+		done:  done,
+		cnp:   cc.NewCNPGenerator(),
 	}
-	r.rto = sim.NewHandlerTimer(ep.Engine(), r, receiverRTO)
+	r.rto = sim.NewHandlerTimer(ep.Engine(), ep.Clock(), r, receiverRTO)
 	if !p.DisableTimeout {
 		r.rto.Arm(p.RTOHigh)
 	}
@@ -328,8 +328,8 @@ func (r *Receiver) finish(last *packet.Packet, now sim.Time) {
 	r.flow.Finished = true
 	r.flow.Finish = now
 	r.sendCompletion(last)
-	if r.onComplete != nil {
-		r.onComplete(now)
+	if r.done != nil {
+		r.done.FlowDone(r.flow, now)
 	}
 }
 

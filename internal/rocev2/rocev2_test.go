@@ -22,7 +22,7 @@ func runOverFabric(t *testing.T, p Params, pfc bool, pkts int,
 	flow := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: pkts * p.MTU, Pkts: pkts}
 	snd := NewSender(net.NIC(0), flow, p, nil)
 	var doneAt sim.Time
-	rcv := NewReceiver(net.NIC(1), flow, p, func(now sim.Time) { doneAt = now })
+	rcv := NewReceiver(net.NIC(1), flow, p, doneFn(func(now sim.Time) { doneAt = now }))
 	net.NIC(1).AttachSink(flow.ID, rcv)
 	net.NIC(0).AttachSource(snd)
 
@@ -63,8 +63,8 @@ func TestNoPerPacketAcksByDefault(t *testing.T) {
 	if !flow.Finished {
 		t.Fatal("did not finish")
 	}
-	if net.Stats.CtrlDeliv != 1 {
-		t.Errorf("control packets delivered = %d, want 1 (completion only)", net.Stats.CtrlDeliv)
+	if net.Stats().CtrlDeliv != 1 {
+		t.Errorf("control packets delivered = %d, want 1 (completion only)", net.Stats().CtrlDeliv)
 	}
 }
 
@@ -130,8 +130,8 @@ func TestTimeoutDisabledUnderPFC(t *testing.T) {
 	if snd.Stats.Retransmits != 0 {
 		t.Errorf("retransmits = %d under PFC", snd.Stats.Retransmits)
 	}
-	if net.Stats.Drops != 0 {
-		t.Errorf("drops = %d under PFC", net.Stats.Drops)
+	if net.Stats().Drops != 0 {
+		t.Errorf("drops = %d under PFC", net.Stats().Drops)
 	}
 }
 
@@ -150,8 +150,8 @@ func TestPerPacketAckMode(t *testing.T) {
 	if !flow.Finished {
 		t.Fatal("did not finish")
 	}
-	if net.Stats.CtrlDeliv < 90 {
-		t.Errorf("per-packet ACK mode delivered only %d control packets", net.Stats.CtrlDeliv)
+	if net.Stats().CtrlDeliv < 90 {
+		t.Errorf("per-packet ACK mode delivered only %d control packets", net.Stats().CtrlDeliv)
 	}
 	_ = snd
 }
@@ -193,4 +193,9 @@ func TestDeterminism(t *testing.T) {
 	if s1 != s2 || d1 != d2 {
 		t.Errorf("nondeterministic: (%d,%v) vs (%d,%v)", s1, d1, s2, d2)
 	}
+}
+
+// doneFn adapts a closure to transport.Completer, dropping the flow.
+func doneFn(f func(now sim.Time)) transport.Completer {
+	return transport.CompleterFunc(func(_ *transport.Flow, now sim.Time) { f(now) })
 }

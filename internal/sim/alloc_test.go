@@ -41,7 +41,7 @@ func TestScheduleEventZeroAllocs(t *testing.T) {
 func TestTimerRearmZeroAllocs(t *testing.T) {
 	e := NewEngine()
 	h := &countingHandler{}
-	tm := NewHandlerTimer(e, h, 2)
+	tm := NewHandlerTimer(e, nil, h, 2)
 
 	// Warm: one full arm/fire cycle.
 	tm.Arm(1)

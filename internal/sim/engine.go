@@ -10,9 +10,14 @@ type Handler interface {
 	HandleEvent(kind uint8, arg uint64)
 }
 
-// Event is a scheduled callback. Events with equal firing times run in
-// scheduling order (FIFO), which the sequence number enforces; this is what
-// makes runs reproducible regardless of heap internals.
+// Event is a scheduled callback. The engine's total order is the canonical
+// key (at, rank): firing time first, then the rank — a 64-bit value packing
+// the scheduling Clock's stable ID above a per-clock sequence number.
+// Events scheduled by one clock at equal times run FIFO; events from
+// different clocks tie-break by clock ID. Because ranks are derived from
+// stable per-node identity rather than a global counter, the order is a
+// pure function of simulation state: a sharded run merging events from
+// several engines reproduces it bit-for-bit (see RunWindows).
 //
 // An event fires through exactly one of two paths: the typed handler path
 // (h != nil), which allocates nothing, or the legacy closure path (fn).
@@ -22,14 +27,50 @@ type Handler interface {
 // examples) where an allocation per event is harmless.
 type event struct {
 	at   Time
-	seq  uint64
+	rank uint64
 	h    Handler
 	fn   func()
 	arg  uint64
 	kind uint8
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq), hand-rolled rather
+// Rank layout: the top 24 bits carry the scheduling clock's stable ID, the
+// low 40 bits its per-clock sequence. 2^40 events per node per run and
+// 2^24 distinct clocks are both orders of magnitude beyond any simulated
+// fabric; the engine's own fallback clock sits at the top of the ID space,
+// above every topology node.
+const (
+	rankSeqBits   = 40
+	rankSeqMask   = 1<<rankSeqBits - 1
+	engineClockID = 1<<24 - 1
+)
+
+// Clock is a deterministic rank source for one scheduling entity —
+// typically one topology node, shared by everything that schedules on the
+// node's behalf (its ports, transports, and timers). The (at, rank)
+// ordering key makes event order a function of WHO schedules rather than
+// a global insertion counter, which is what lets a partitioned run
+// reproduce serial order exactly: each node's clock advances identically
+// regardless of how nodes are spread across shard engines.
+type Clock struct {
+	base uint64
+	seq  uint64
+}
+
+// NewClock returns a clock with the given stable ID (must be unique among
+// the clocks feeding one engine group, and below engineClockID).
+func NewClock(id uint64) Clock { return Clock{base: id << rankSeqBits} }
+
+// Next returns the next rank: clock ID above a monotonic sequence.
+func (c *Clock) Next() uint64 {
+	c.seq++
+	return c.base | c.seq&rankSeqMask
+}
+
+// Reset rewinds the clock's sequence for a new run.
+func (c *Clock) Reset() { c.seq = 0 }
+
+// eventHeap is a binary min-heap ordered by (at, rank), hand-rolled rather
 // than built on container/heap to avoid the heap.Interface boxing and
 // indirect calls. It is no longer the engine's main queue — the
 // hierarchical timing wheel (wheel.go) is — but it remains load-bearing in
@@ -38,12 +79,12 @@ type event struct {
 // against (FuzzEventOrder).
 type eventHeap []event
 
-// less orders events by time, then FIFO.
+// less orders events by the canonical (at, rank) key.
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
-	return h[i].seq < h[j].seq
+	return h[i].rank < h[j].rank
 }
 
 // push appends and sifts up.
@@ -91,12 +132,16 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// Engine is a single-threaded discrete-event scheduler.
+// Engine is a single-threaded discrete-event scheduler. A sharded
+// simulation runs one Engine per shard under the RunWindows coordinator;
+// a serial one drives a single Engine directly. Both order events by the
+// same canonical (at, rank) key, which is what keeps serial and sharded
+// execution bit-identical.
 //
 // The zero value is not ready for use; call NewEngine.
 type Engine struct {
 	now     Time
-	seq     uint64
+	clk     Clock // fallback rank source for un-clocked scheduling
 	queue   timingWheel
 	stopped bool
 
@@ -106,7 +151,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{clk: NewClock(engineClockID)}
 }
 
 // Reset returns the engine to its just-constructed state — clock at zero,
@@ -115,7 +160,8 @@ func NewEngine() *Engine {
 // instead of constructing a new one; any Timer attached to the engine must
 // be Reset alongside it (its pending event is discarded with the queue).
 func (e *Engine) Reset() {
-	e.now, e.seq, e.executed = 0, 0, 0
+	e.now, e.executed = 0, 0
+	e.clk.Reset()
 	e.stopped = false
 	e.queue.reset()
 }
@@ -138,13 +184,34 @@ func (e *Engine) checkTime(at Time) {
 	}
 }
 
-// ScheduleEvent runs h.HandleEvent(kind, arg) at absolute time at. This is
-// the hot path: it performs no allocation beyond amortized growth of the
-// timing wheel's bucket arrays, which a warmed-up simulation never touches.
-func (e *Engine) ScheduleEvent(at Time, h Handler, kind uint8, arg uint64) {
+// ScheduleEventFrom runs h.HandleEvent(kind, arg) at absolute time at,
+// ranking the event under clk — the hot path for everything owned by a
+// topology node. It performs no allocation beyond amortized growth of the
+// timing wheel's bucket arrays, which a warmed-up simulation never
+// touches. A nil clk falls back to the engine's own clock; runs that are
+// (or may be) sharded must pass the owning node's clock, because the
+// engine clock is engine-local and would order differently across shard
+// counts.
+func (e *Engine) ScheduleEventFrom(clk *Clock, at Time, h Handler, kind uint8, arg uint64) {
 	e.checkTime(at)
-	e.seq++
-	e.queue.push(event{at: at, seq: e.seq, h: h, kind: kind, arg: arg})
+	if clk == nil {
+		clk = &e.clk
+	}
+	e.queue.push(event{at: at, rank: clk.Next(), h: h, kind: kind, arg: arg})
+}
+
+// AfterEventFrom runs h.HandleEvent(kind, arg) d after the current time,
+// ranked under clk.
+func (e *Engine) AfterEventFrom(clk *Clock, d Duration, h Handler, kind uint8, arg uint64) {
+	e.ScheduleEventFrom(clk, e.now.Add(d), h, kind, arg)
+}
+
+// ScheduleEvent runs h.HandleEvent(kind, arg) at absolute time at, ranked
+// under the engine's own clock (equal-time calls run FIFO). Convenience
+// form for tests and single-engine tools; shard-safe code passes a node
+// clock via ScheduleEventFrom.
+func (e *Engine) ScheduleEvent(at Time, h Handler, kind uint8, arg uint64) {
+	e.ScheduleEventFrom(nil, at, h, kind, arg)
 }
 
 // AfterEvent runs h.HandleEvent(kind, arg) d after the current time.
@@ -152,13 +219,22 @@ func (e *Engine) AfterEvent(d Duration, h Handler, kind uint8, arg uint64) {
 	e.ScheduleEvent(e.now.Add(d), h, kind, arg)
 }
 
+// ScheduleRanked inserts an event whose rank was already drawn — by a
+// cross-shard channel at production time on another engine. The rank must
+// come from a Clock that is not also feeding this engine directly, or
+// ordering collides. This is the shard-merge entry point: draining a
+// channel re-ranks nothing, so the merged order equals the serial order.
+func (e *Engine) ScheduleRanked(at Time, rank uint64, h Handler, kind uint8, arg uint64) {
+	e.checkTime(at)
+	e.queue.push(event{at: at, rank: rank, h: h, kind: kind, arg: arg})
+}
+
 // Schedule runs fn at absolute time at. This is the legacy closure path,
 // kept for setup work and tests; each call allocates the closure. Hot
-// callers use ScheduleEvent.
+// callers use ScheduleEventFrom.
 func (e *Engine) Schedule(at Time, fn func()) {
 	e.checkTime(at)
-	e.seq++
-	e.queue.push(event{at: at, seq: e.seq, fn: fn})
+	e.queue.push(event{at: at, rank: e.clk.Next(), fn: fn})
 }
 
 // After runs fn d after the current time.
@@ -195,6 +271,40 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
+// RunWindow executes events with firing time strictly before end, in
+// (at, rank) order, leaving the clock at the last executed event. This is
+// one shard's share of a conservative safe window: end is chosen by the
+// RunWindows coordinator so that no event produced concurrently on
+// another shard can land inside it. Stop() is honored mid-window for
+// symmetry with Run, though windowed runs normally terminate via the
+// coordinator's Done hook.
+func (e *Engine) RunWindow(end Time) {
+	e.stopped = false
+	for e.queue.size > 0 && !e.stopped {
+		if e.queue.peekAt() >= end {
+			return
+		}
+		e.step()
+	}
+}
+
+// NextEventTime reports the firing time of the earliest pending event.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if e.queue.size == 0 {
+		return 0, false
+	}
+	return e.queue.peekAt(), true
+}
+
+// AdvanceTo moves the clock forward to t without executing anything —
+// the windowed counterpart of RunUntil's deadline semantics. Moving
+// backwards is a no-op.
+func (e *Engine) AdvanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
+}
+
 func (e *Engine) step() {
 	ev := e.queue.pop()
 	e.now = ev.at
@@ -227,6 +337,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // plain func() for convenience.
 type Timer struct {
 	eng      *Engine
+	clk      *Clock // rank source; nil falls back to the engine clock
 	fn       func()
 	h        Handler // fire target when fn is nil
 	kind     uint8
@@ -238,16 +349,19 @@ type Timer struct {
 }
 
 // NewTimer creates a timer that invokes fn when it fires. The timer starts
-// unarmed.
+// unarmed and ranks its events under the engine's own clock (test and
+// example convenience; not shard-safe).
 func NewTimer(eng *Engine, fn func()) *Timer {
 	return &Timer{eng: eng, fn: fn}
 }
 
 // NewHandlerTimer creates a timer that invokes h.HandleEvent(kind, 0) when
 // it fires, avoiding even the one-time closure allocation of NewTimer.
-// The timer starts unarmed.
-func NewHandlerTimer(eng *Engine, h Handler, kind uint8) *Timer {
-	return &Timer{eng: eng, h: h, kind: kind}
+// The timer starts unarmed and ranks its engine events under clk — the
+// owning node's clock, so timer events keep their canonical order under
+// sharded execution. A nil clk falls back to the engine clock.
+func NewHandlerTimer(eng *Engine, clk *Clock, h Handler, kind uint8) *Timer {
+	return &Timer{eng: eng, clk: clk, h: h, kind: kind}
 }
 
 // Arm (re)schedules the timer to fire d from now, replacing any previous
@@ -269,7 +383,7 @@ func (t *Timer) scheduleAt(at Time) {
 	t.pending = true
 	t.pendAt = at
 	t.pendGen++
-	t.eng.ScheduleEvent(at, t, 0, t.pendGen)
+	t.eng.ScheduleEventFrom(t.clk, at, t, 0, t.pendGen)
 }
 
 // HandleEvent implements Handler: the queued engine event. arg is the

@@ -1,0 +1,138 @@
+package sim
+
+// Conservative-parallel execution: one simulation partitioned across S
+// shard engines, advancing in lockstep through safe windows.
+//
+// The synchronization model is the classic conservative PDES null-message-
+// free barrier variant, specialized to a fabric whose only cross-shard
+// interactions ride links with a fixed propagation delay (the lookahead):
+//
+//   - At a barrier every shard is quiescent and every cross-shard event
+//     produced so far has been drained into its destination engine.
+//   - T = the minimum pending event time across all shards. No event
+//     anywhere fires before T.
+//   - Any cross-shard event produced by executing an event at time g is
+//     due at g + lookahead or later. Since g >= T, nothing produced during
+//     the window can land before T + lookahead.
+//   - Therefore every shard may execute its events with at < T + lookahead
+//     in parallel without ever receiving a straggler into that range.
+//
+// Determinism does not depend on the window boundaries at all: events
+// carry the canonical (at, rank) key, ranks are drawn by the producing
+// node's Clock (whose sequence is a pure function of that node's
+// deterministic execution), and each engine pops in exact key order. The
+// window protocol only has to guarantee that every event is present in
+// its engine before the engine's clock reaches it — which the lookahead
+// argument above does. Serial execution with the same key visits the same
+// events in the same order, so results are bit-identical for any shard
+// count, including one.
+type WindowConfig struct {
+	// Engines are the shard engines, one per partition. A single engine
+	// degenerates to windowed serial execution — same barrier cadence,
+	// same Done semantics, so results match sharded runs exactly.
+	Engines []*Engine
+	// Lookahead is the minimum cross-shard event latency (the link
+	// propagation delay for a partitioned fabric). Values <= 0 degrade to
+	// one-timestep windows, which is only sensible for a single engine.
+	Lookahead Duration
+	// Deadline bounds the run like Engine.RunUntil: events at or before
+	// it execute, and if the run is cut short by it every engine's clock
+	// advances to it.
+	Deadline Time
+	// Drain, when non-nil, is called for every shard index at each
+	// barrier, before the next window is sized. It must move that shard's
+	// inbound cross-shard events into its engine (see fabric's boundary
+	// channels). It runs on the coordinating goroutine; the barrier
+	// orders it against all shard execution.
+	Drain func(shard int)
+	// Done, when non-nil, is polled at each barrier; returning true ends
+	// the run. This replaces Engine.Stop for windowed runs: a stop
+	// condition raised mid-window takes effect at the window's end, which
+	// keeps the set of executed events independent of the shard count.
+	Done func() bool
+}
+
+// RunWindows executes a group of shard engines to completion under the
+// conservative window protocol. It returns true when the run ended via
+// the Done hook, false when the event population drained or the deadline
+// cut it short (in which case clocks are advanced to the deadline).
+//
+// Coordination is strictly channel-based — no spinning — so the runner is
+// correct (if not parallel) at GOMAXPROCS=1 and under the race detector.
+func RunWindows(cfg WindowConfig) bool {
+	n := len(cfg.Engines)
+	if n == 0 {
+		return false
+	}
+
+	// Shard goroutines for the parallel case. Shard 0 always runs on the
+	// coordinating goroutine: a 1-shard group needs no handoff at all,
+	// and wider groups save one round trip per window.
+	var (
+		starts []chan Time
+		acks   chan struct{}
+	)
+	if n > 1 {
+		starts = make([]chan Time, n)
+		acks = make(chan struct{}, n-1)
+		for i := 1; i < n; i++ {
+			ch := make(chan Time)
+			starts[i] = ch
+			go func(e *Engine) {
+				for w := range ch {
+					e.RunWindow(w)
+					acks <- struct{}{}
+				}
+			}(cfg.Engines[i])
+		}
+		defer func() {
+			for i := 1; i < n; i++ {
+				close(starts[i])
+			}
+		}()
+	}
+
+	for {
+		// Barrier: all shards quiescent. Drain cross-shard channels, then
+		// decide whether and how far to run.
+		if cfg.Drain != nil {
+			for i := 0; i < n; i++ {
+				cfg.Drain(i)
+			}
+		}
+		if cfg.Done != nil && cfg.Done() {
+			return true
+		}
+		var (
+			t    Time
+			have bool
+		)
+		for _, e := range cfg.Engines {
+			if at, ok := e.NextEventTime(); ok && (!have || at < t) {
+				t, have = at, true
+			}
+		}
+		if !have || t > cfg.Deadline {
+			for _, e := range cfg.Engines {
+				e.AdvanceTo(cfg.Deadline)
+			}
+			return false
+		}
+		w := t.Add(cfg.Lookahead)
+		if w <= t {
+			w = t + 1 // zero lookahead: single-timestep window
+		}
+		if w > cfg.Deadline {
+			// Events exactly at the deadline still execute (RunUntil
+			// semantics); the exclusive window end is deadline+1.
+			w = cfg.Deadline + 1
+		}
+		for i := 1; i < n; i++ {
+			starts[i] <- w
+		}
+		cfg.Engines[0].RunWindow(w)
+		for i := 1; i < n; i++ {
+			<-acks
+		}
+	}
+}

@@ -25,8 +25,9 @@ import "math/bits"
 // retransmission timers resolve at level 1, flow arrivals at levels 1–2,
 // and the overflow heap is touched only by pathological schedules.
 //
-// Determinism: pop order is exactly (at, seq) — bit-identical to the old
-// heap. Three facts make this exact rather than approximate: (1) the
+// Determinism: pop order is exactly the canonical (at, rank) key —
+// bit-identical to the reference heap the wheel is differentially tested
+// against. Three facts make this exact rather than approximate: (1) the
 // frontier (`ready` plus the `late` heap) holds every pending event with
 // tick <= cur, fully ordered by full key, so same-tick events and late
 // arrivals interleave exactly; (2) wheels hold only ticks > cur, and the
@@ -56,7 +57,7 @@ type timingWheel struct {
 	size int
 
 	// ready[head:] is the execution frontier, sorted ascending by
-	// (at, seq): pop reads sequentially and a drained level-0 slot (whose
+	// (at, rank): pop reads sequentially and a drained level-0 slot (whose
 	// handful of events share one tick) replaces it as one sorted batch.
 	// Consumed entries before head are not zeroed — the next drain
 	// overwrites them, and the handlers they pin outlive the engine's
@@ -67,7 +68,7 @@ type timingWheel struct {
 	// late holds stragglers: events scheduled at a tick the cursor has
 	// already reached or passed (~0.4% of traffic in a loaded fabric).
 	// They cannot join ready without a mid-run memmove, so they sit in a
-	// small (at, seq) heap that pop/peek merge against the frontier; on
+	// small (at, rank) heap that pop/peek merge against the frontier; on
 	// pathological all-same-tick schedules this degrades to exactly the
 	// old global heap's O(log n), never worse.
 	late eventHeap
@@ -100,7 +101,7 @@ func eventBefore(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.rank < b.rank
 }
 
 // push enqueues ev.
@@ -112,7 +113,7 @@ func (w *timingWheel) push(ev event) {
 // place routes ev to ready, a wheel bucket, or the overflow heap. Events
 // at or before the cursor go to ready — that is what keeps late arrivals
 // (scheduled mid-window after the cursor advanced past their tick) ahead
-// of every wheel event, in exact (at, seq) order.
+// of every wheel event, in exact (at, rank) order.
 func (w *timingWheel) place(ev event) {
 	t := tickOf(ev.at)
 	if t <= w.cur {
@@ -343,9 +344,9 @@ func (w *timingWheel) scan(lvl int, from uint64) (uint64, bool) {
 	return 0, false
 }
 
-// sortEvents orders a drained slot by (at, seq): insertion sort for the
+// sortEvents orders a drained slot by (at, rank): insertion sort for the
 // typical handful of events, in-place heapsort for pathological same-tick
-// floods. Both are deterministic — (at, seq) is a total order, so the
+// floods. Both are deterministic — (at, rank) is a total order, so the
 // sorted sequence is unique regardless of algorithm.
 func sortEvents(evs []event) {
 	if len(evs) <= 32 {

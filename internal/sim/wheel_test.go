@@ -7,12 +7,12 @@ import (
 
 // wheelModel drives a timingWheel and a reference eventHeap side by side
 // on the same schedule and asserts identical pop order. The heap's
-// (at, seq) ordering is the determinism contract golden fixtures depend
+// (at, rank) ordering is the determinism contract golden fixtures depend
 // on; any divergence is a wheel bug by definition.
 type wheelModel struct {
 	wheel timingWheel
 	ref   eventHeap
-	seq   uint64
+	rank  uint64
 	now   Time
 }
 
@@ -20,8 +20,8 @@ func (m *wheelModel) push(at Time) {
 	if at < m.now {
 		at = m.now
 	}
-	m.seq++
-	ev := event{at: at, seq: m.seq}
+	m.rank++
+	ev := event{at: at, rank: m.rank}
 	m.wheel.push(ev)
 	m.ref.push(ev)
 }
@@ -41,9 +41,9 @@ func (m *wheelModel) pop(t *testing.T) bool {
 		t.Fatalf("peekAt = %d, want %d", got, want.at)
 	}
 	got := m.wheel.pop()
-	if got.at != want.at || got.seq != want.seq {
-		t.Fatalf("pop order diverged: wheel (at=%d seq=%d), heap (at=%d seq=%d)",
-			got.at, got.seq, want.at, want.seq)
+	if got.at != want.at || got.rank != want.rank {
+		t.Fatalf("pop order diverged: wheel (at=%d rank=%d), heap (at=%d rank=%d)",
+			got.at, got.rank, want.at, want.rank)
 	}
 	m.now = got.at
 	return true
@@ -149,7 +149,7 @@ func FuzzEventOrder(f *testing.F) {
 }
 
 // TestEngineResetReusable: after Reset, an engine must behave exactly like
-// a fresh one — clock, seq-driven FIFO order, executed count, timers.
+// a fresh one — clock, rank-driven FIFO order, executed count, timers.
 func TestEngineResetReusable(t *testing.T) {
 	run := func(e *Engine) (order []int, now Time, executed uint64) {
 		h := &countingHandler{}

@@ -119,7 +119,7 @@ func NewSender(ep transport.Endpoint, flow *transport.Flow, p Params) *Sender {
 		ssthresh: 1 << 30, // slow start until the first loss
 	}
 	s.sacked = bitmap.New(minInt(s.total, 1<<16) + 1)
-	s.rto = sim.NewHandlerTimer(ep.Engine(), s, senderRTO)
+	s.rto = sim.NewHandlerTimer(ep.Engine(), ep.Clock(), s, senderRTO)
 	return s
 }
 
@@ -386,24 +386,24 @@ type Receiver struct {
 	received int
 	total    int
 
-	onComplete func(now sim.Time)
+	done transport.Completer
 
 	// Stats.
 	Acks, DupAcks uint64
 }
 
 // NewReceiver builds a TCP receiver.
-func NewReceiver(ep transport.Endpoint, flow *transport.Flow, p Params, onComplete func(now sim.Time)) *Receiver {
+func NewReceiver(ep transport.Endpoint, flow *transport.Flow, p Params, done transport.Completer) *Receiver {
 	if flow.Pkts == 0 {
 		flow.Pkts = transport.NumPackets(flow.Size, p.MTU)
 	}
 	r := &Receiver{
-		ep:         ep,
-		pool:       ep.Pool(),
-		flow:       flow,
-		p:          p,
-		total:      flow.Pkts,
-		onComplete: onComplete,
+		ep:    ep,
+		pool:  ep.Pool(),
+		flow:  flow,
+		p:     p,
+		total: flow.Pkts,
+		done:  done,
 	}
 	r.rcv = bitmap.New(minInt(r.total, 1<<16) + 1)
 	return r
@@ -463,7 +463,7 @@ func (r *Receiver) maybeComplete(now sim.Time) {
 	}
 	r.flow.Finished = true
 	r.flow.Finish = now
-	if r.onComplete != nil {
-		r.onComplete(now)
+	if r.done != nil {
+		r.done.FlowDone(r.flow, now)
 	}
 }

@@ -21,7 +21,7 @@ func runOverFabric(t *testing.T, p Params, pkts int,
 	flow := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: pkts * p.MTU, Pkts: pkts}
 	snd := NewSender(net.NIC(0), flow, p)
 	var doneAt sim.Time
-	rcv := NewReceiver(net.NIC(1), flow, p, func(now sim.Time) { doneAt = now })
+	rcv := NewReceiver(net.NIC(1), flow, p, doneFn(func(now sim.Time) { doneAt = now }))
 	net.NIC(1).AttachSink(flow.ID, rcv)
 	net.NIC(0).AttachSource(snd)
 
@@ -152,6 +152,7 @@ type stubEP struct {
 }
 
 func (e *stubEP) Now() sim.Time                  { return e.eng.Now() }
+func (e *stubEP) Clock() *sim.Clock              { return nil }
 func (e *stubEP) Pool() *packet.Pool             { return nil }
 func (e *stubEP) Engine() *sim.Engine            { return e.eng }
 func (e *stubEP) SendControl(pkt *packet.Packet) { e.sent = append(e.sent, pkt) }
@@ -230,4 +231,9 @@ func TestMaxWindowBounds(t *testing.T) {
 	if snd.Cwnd() > 8 {
 		t.Errorf("cwnd %v exceeded MaxWindow", snd.Cwnd())
 	}
+}
+
+// doneFn adapts a closure to transport.Completer, dropping the flow.
+func doneFn(f func(now sim.Time)) transport.Completer {
+	return transport.CompleterFunc(func(_ *transport.Flow, now sim.Time) { f(now) })
 }

@@ -1,0 +1,74 @@
+package topo
+
+// Partitioning for conservative-parallel execution: a partition assigns
+// every node to one shard, and the fabric turns links whose endpoints
+// land on different shards into cross-shard channels. The quality of a
+// partition is the usual graph-cut trade-off — balanced node (really:
+// event-load) counts, few cut links — but correctness never depends on
+// it: the (time, rank) ordering key makes results identical for every
+// assignment, so the partitioner is free to chase speed alone.
+
+// Partitioner is implemented by topologies that know how to cut
+// themselves into balanced shards. Topologies without the method (the
+// star and dumbbell test fabrics) run single-shard.
+type Partitioner interface {
+	// Partition returns a shard index in [0, shards) for every node,
+	// indexed by NodeID. Implementations may use fewer shards than
+	// requested (a 2-pod tree cannot fill 8), never more.
+	Partition(shards int) []int
+}
+
+// PartitionNodes cuts a topology into at most the requested number of
+// shards, returning the node→shard assignment and the number of distinct
+// shards actually used (always ≥ 1, with shard indexes dense in
+// [0, used)). Requests of one shard — or a topology that cannot
+// partition — yield the all-zero assignment.
+func PartitionNodes(t Topology, shards int) ([]int, int) {
+	n := len(t.Nodes())
+	if shards <= 1 {
+		return make([]int, n), 1
+	}
+	p, ok := t.(Partitioner)
+	if !ok {
+		return make([]int, n), 1
+	}
+	assign := p.Partition(shards)
+	used := 0
+	for _, s := range assign {
+		if s >= used {
+			used = s + 1
+		}
+	}
+	if used < 1 {
+		used = 1
+	}
+	return assign, used
+}
+
+// Partition implements Partitioner for the fat-tree: pods are the cut
+// unit. A pod's hosts, edge and aggregation switches always share a
+// shard — every host↔edge and edge↔agg link is intra-pod, so only
+// agg↔core links can cross shards, and the lookahead window always spans
+// at least one link propagation delay of slack. Pods are dealt
+// round-robin over the shards (10 pods over 4 shards → 3/3/2/2), and
+// each core switch joins the shard it talks to most — cores attach to
+// one aggregation index in every pod, so any choice cuts most of their
+// links; spreading them round-robin keeps the shard loads level.
+func (t *FatTree) Partition(shards int) []int {
+	if shards > t.K {
+		shards = t.K // more shards than pods would leave shards empty
+	}
+	assign := make([]int, len(t.nodes))
+	if shards <= 1 {
+		return assign
+	}
+	for _, n := range t.nodes {
+		switch n.Kind {
+		case Host, EdgeSwitch, AggSwitch:
+			assign[n.ID] = n.Pod % shards
+		case CoreSwitch:
+			assign[n.ID] = n.Idx % shards
+		}
+	}
+	return assign
+}

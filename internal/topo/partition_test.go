@@ -1,0 +1,94 @@
+package topo
+
+import "testing"
+
+// TestFatTreePartitionPodsIntact: every node of a pod shares its pod's
+// shard — the invariant that keeps host↔edge and edge↔agg links interior,
+// leaving only agg↔core links as shard boundaries.
+func TestFatTreePartitionPodsIntact(t *testing.T) {
+	for _, k := range []int{4, 6, 10} {
+		for _, shards := range []int{2, 3, 4, 8} {
+			tr := NewFatTree(k)
+			assign, used := PartitionNodes(tr, shards)
+			if used < 1 || used > min(shards, k) {
+				t.Fatalf("k=%d shards=%d: used %d shards", k, shards, used)
+			}
+			podShard := map[int]int{}
+			for _, n := range tr.Nodes() {
+				if n.Pod < 0 {
+					continue // core
+				}
+				if prev, ok := podShard[n.Pod]; ok && prev != assign[n.ID] {
+					t.Fatalf("k=%d shards=%d: pod %d split across shards %d and %d",
+						k, shards, n.Pod, prev, assign[n.ID])
+				}
+				podShard[n.Pod] = assign[n.ID]
+			}
+			// Only agg↔core links may cross shards.
+			for _, l := range tr.Links() {
+				if assign[l.A] == assign[l.B] {
+					continue
+				}
+				ka := tr.Nodes()[l.A].Kind
+				kb := tr.Nodes()[l.B].Kind
+				aggCore := (ka == AggSwitch && kb == CoreSwitch) || (ka == CoreSwitch && kb == AggSwitch)
+				if !aggCore {
+					t.Fatalf("k=%d shards=%d: boundary link %v(%v)–%v(%v) is not agg↔core",
+						k, shards, l.A, ka, l.B, kb)
+				}
+			}
+		}
+	}
+}
+
+// TestFatTreePartitionBalance: pod counts per shard differ by at most
+// one (round-robin deal), and shard indexes are dense.
+func TestFatTreePartitionBalance(t *testing.T) {
+	tr := NewFatTree(10)
+	assign, used := PartitionNodes(tr, 4)
+	if used != 4 {
+		t.Fatalf("used %d shards, want 4", used)
+	}
+	pods := make(map[int]map[int]bool) // shard → pods
+	for _, n := range tr.Nodes() {
+		if n.Kind != EdgeSwitch {
+			continue
+		}
+		if pods[assign[n.ID]] == nil {
+			pods[assign[n.ID]] = map[int]bool{}
+		}
+		pods[assign[n.ID]][n.Pod] = true
+	}
+	lo, hi := 1<<30, 0
+	for s := 0; s < used; s++ {
+		n := len(pods[s])
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if hi-lo > 1 {
+		t.Fatalf("pod balance off: shard pod counts span %d..%d", lo, hi)
+	}
+}
+
+// TestPartitionFallbacks: one shard and non-partitionable topologies run
+// single-shard.
+func TestPartitionFallbacks(t *testing.T) {
+	tr := NewFatTree(4)
+	if _, used := PartitionNodes(tr, 1); used != 1 {
+		t.Fatal("one-shard request must use one shard")
+	}
+	star := NewStar(4)
+	assign, used := PartitionNodes(star, 8)
+	if used != 1 {
+		t.Fatalf("star partitioned into %d shards; it has no Partitioner", used)
+	}
+	for _, s := range assign {
+		if s != 0 {
+			t.Fatal("fallback assignment must be all-zero")
+		}
+	}
+}

@@ -61,8 +61,15 @@ func PayloadOf(size, mtu int, psn int) int {
 type Endpoint interface {
 	// Now returns the current simulation time.
 	Now() sim.Time
-	// Engine exposes the event engine for timers.
+	// Engine exposes the event engine for timers. In a sharded fabric
+	// this is the engine of the shard owning the endpoint's host.
 	Engine() *sim.Engine
+	// Clock returns the host node's rank clock. Everything a transport
+	// schedules — timers, RNR resumes — must be ranked under it so the
+	// canonical (time, rank) event order is identical whether the fabric
+	// runs serial or sharded. Nil is legal (unit tests) and falls back to
+	// the engine's own clock.
+	Clock() *sim.Clock
 	// SendControl queues a control packet on the host's egress port.
 	// Control packets get strict priority over data at the NIC but share
 	// the same links and buffers in the network, so their bandwidth cost
@@ -97,6 +104,25 @@ type Source interface {
 	// can be detached.
 	Done() bool
 }
+
+// Completer receives flow-completion notifications from receiving
+// transports. It replaces the old per-flow onComplete closure: the
+// experiment launcher registers one Completer for every flow, so starting
+// a flow allocates no closure, and the flow pointer carries enough
+// identity (ID, Dst) to route the completion to per-shard bookkeeping.
+type Completer interface {
+	// FlowDone fires exactly once per flow, when the last packet of the
+	// message arrives, on the goroutine of the shard owning the flow's
+	// destination host.
+	FlowDone(fl *Flow, now sim.Time)
+}
+
+// CompleterFunc adapts a function to the Completer interface (tests,
+// examples).
+type CompleterFunc func(fl *Flow, now sim.Time)
+
+// FlowDone implements Completer.
+func (f CompleterFunc) FlowDone(fl *Flow, now sim.Time) { f(fl, now) }
 
 // Sink is the receiver half of a transport attached to a NIC.
 type Sink interface {

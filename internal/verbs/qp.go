@@ -193,8 +193,8 @@ func NewQP(name string, eng *sim.Engine, cfg Config, wire Wire, mem *Memory, cq 
 		rtxSack:  bitmap.New(4096),
 	}
 	q.recvQ = newRecvQueue()
-	q.timer = sim.NewHandlerTimer(eng, q, qpTimer)
-	q.rTimer = sim.NewHandlerTimer(eng, q, qpReadTimer)
+	q.timer = sim.NewHandlerTimer(eng, nil, q, qpTimer)
+	q.rTimer = sim.NewHandlerTimer(eng, nil, q, qpReadTimer)
 	return q
 }
 

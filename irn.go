@@ -103,6 +103,11 @@ type Config struct {
 	Flows int
 	// Seed makes runs reproducible (default 1).
 	Seed uint64
+	// Shards splits the single run across this many cores using the
+	// conservative-parallel engine (pod-partitioned fat-tree, link
+	// propagation delay as lookahead). Results are bit-identical at any
+	// value; >1 only buys wall-clock time on multi-core machines.
+	Shards int
 
 	// IncastFanIn, when positive, replaces the Poisson workload with
 	// IncastBytes striped across this many senders (§4.4.3); combine
@@ -170,6 +175,7 @@ func Run(cfg Config) Result {
 		Workload:       exp.WorkloadKind(cfg.Workload),
 		NumFlows:       cfg.Flows,
 		Seed:           cfg.Seed,
+		Shards:         cfg.Shards,
 		IncastM:        cfg.IncastFanIn,
 		IncastBytes:    cfg.IncastBytes,
 		Recovery:       toRecovery(cfg.Recovery),

@@ -13,6 +13,12 @@
 #   scripts/bench.sh delta            # newest vs. previous BENCH_*.json
 #   BENCH_MAX_REGRESS=5 scripts/bench.sh delta
 #
+# Shards mode sweeps the figscale preset across intra-run shard counts
+# and prints the wall-clock column per count (results are bit-identical
+# by construction; only ns/op should move):
+#
+#   scripts/bench.sh shards           # figscale at 1, 2, 4, 8 shards
+#
 # Environment:
 #   BENCH_PATTERN  benchmark regex   (default: ^BenchmarkFig)
 #   BENCH_TIME     -benchtime value  (default: 1x — each Fig preset is a
@@ -41,6 +47,19 @@ if [ "${1:-}" = "delta" ]; then
     fi
     exec go run ./cmd/benchjson -delta -max-regress "${BENCH_MAX_REGRESS:-10}" \
         "BENCH_${prev}.json" "BENCH_${latest}.json"
+fi
+
+if [ "${1:-}" = "shards" ]; then
+    # Intra-run scaling sweep: one figscale trial per shard count via the
+    # irnsim CLI (k=10, figscale's flow count at default scale). The
+    # sharded engine is bit-identical at every count, so diffing the
+    # printed metrics across rows double-checks determinism on this box
+    # while the wall-clock column measures the speedup.
+    for s in 1 2 4 8; do
+        echo "--- shards=$s ---"
+        go run ./cmd/irnsim -arity 10 -flows 1024 -shards "$s" -parallel 1
+    done
+    exit 0
 fi
 
 out="BENCH_${n}.json"
