@@ -175,6 +175,16 @@ func BenchmarkFigScaleShards(b *testing.B) {
 	benchExperiment(b, e, reportPair("roce_pfc", "irn"))
 }
 
+// BenchmarkFigDC is the datacenter-scale preset (k=16 fat-tree, 1024
+// hosts, empirical Hadoop workload) the streaming collectors make
+// practical; the bench-scale run keeps its reduced flow count. Its
+// bytes/op is the interesting series: metric collection is O(shards),
+// so allocation regressions here flag per-flow state creeping back in
+// (cmd/benchjson gates bytes/op like ns/op).
+func BenchmarkFigDC(b *testing.B) {
+	benchExperiment(b, exp.FigureDC(exp.BenchScale()), reportPair("roce_pfc", "irn"))
+}
+
 func BenchmarkIncastCrossTraffic(b *testing.B) {
 	benchExperiment(b, exp.IncastCrossTraffic(exp.BenchScale()), func(b *testing.B, rs []exp.Result) {
 		if len(rs) >= 2 && rs[0].RCT > 0 {

@@ -8,10 +8,11 @@
 // FCT ratios, Mpps) lands in the per-benchmark "metrics" map.
 //
 // With -delta OLD.json NEW.json it instead diffs two recorded runs,
-// printing per-benchmark ns/op and allocs/op changes, and exits non-zero
-// if any benchmark regressed ns/op by more than -max-regress percent —
-// the check `scripts/bench.sh delta` runs in CI against the two newest
-// checked-in baselines.
+// printing per-benchmark ns/op, bytes/op, and allocs/op changes, and
+// exits non-zero if any benchmark regressed ns/op by more than
+// -max-regress percent or bytes/op by more than -max-mem-regress
+// percent — the check `scripts/bench.sh delta` runs in CI against the
+// two newest checked-in baselines.
 package main
 
 import (
@@ -50,9 +51,10 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	var (
-		delta      = flag.Bool("delta", false, "diff two recorded runs: benchjson -delta OLD.json NEW.json")
-		maxRegress = flag.Float64("max-regress", 10, "with -delta: fail on ns/op regressions above this percent")
-		minMerge   = flag.Bool("min", false, "merge runs by per-benchmark minimum: benchjson -min RUN.json... (noise-robust wall-clock estimate)")
+		delta         = flag.Bool("delta", false, "diff two recorded runs: benchjson -delta OLD.json NEW.json")
+		maxRegress    = flag.Float64("max-regress", 10, "with -delta: fail on ns/op regressions above this percent")
+		maxMemRegress = flag.Float64("max-mem-regress", 10, "with -delta: fail on bytes/op regressions above this percent")
+		minMerge      = flag.Bool("min", false, "merge runs by per-benchmark minimum: benchjson -min RUN.json... (noise-robust wall-clock estimate)")
 	)
 	flag.Parse()
 	if *delta {
@@ -60,7 +62,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: benchjson -delta OLD.json NEW.json")
 			os.Exit(2)
 		}
-		os.Exit(diffRecords(flag.Arg(0), flag.Arg(1), *maxRegress))
+		os.Exit(diffRecords(flag.Arg(0), flag.Arg(1), *maxRegress, *maxMemRegress))
 	}
 	if *minMerge {
 		if flag.NArg() < 1 {
@@ -107,12 +109,16 @@ func main() {
 	}
 }
 
-// diffRecords prints per-benchmark ns/op and allocs/op deltas between two
-// recorded runs and returns the process exit code: 1 when any benchmark
-// present in both runs regressed ns/op by more than maxRegress percent,
-// 0 otherwise. Benchmarks present in only one file are listed but never
-// fail the check — adding or retiring a preset is not a regression.
-func diffRecords(oldPath, newPath string, maxRegress float64) int {
+// diffRecords prints per-benchmark ns/op, bytes/op, and allocs/op deltas
+// between two recorded runs and returns the process exit code: 1 when any
+// benchmark present in both runs regressed ns/op by more than maxRegress
+// percent or bytes/op by more than maxMemRegress percent, 0 otherwise.
+// Memory regressions gate like time regressions because the streaming
+// collectors made per-run allocation a design invariant (O(shards), not
+// O(flows)) — per-flow state creeping back in shows up here first.
+// Benchmarks present in only one file are listed but never fail the
+// check — adding or retiring a preset is not a regression.
+func diffRecords(oldPath, newPath string, maxRegress, maxMemRegress float64) int {
 	load := func(path string) Record {
 		buf, err := os.ReadFile(path)
 		if err != nil {
@@ -133,21 +139,26 @@ func diffRecords(oldPath, newPath string, maxRegress float64) int {
 	}
 
 	pct := func(oldV, newV float64) float64 { return (newV/oldV - 1) * 100 }
-	fmt.Printf("%-26s %15s %15s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ns Δ%", "allocs Δ%")
+	fmt.Printf("%-26s %15s %15s %8s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ns Δ%", "B/op Δ%", "allocs Δ%")
 	failed := false
 	for _, nr := range newRec.Rows {
 		or, ok := oldBy[nr.Name]
 		delete(oldBy, nr.Name)
 		if !ok {
-			fmt.Printf("%-26s %15s %15.0f %8s %10s  (new)\n", nr.Name, "-", nr.NsPerOp, "-", "-")
+			fmt.Printf("%-26s %15s %15.0f %8s %8s %10s  (new)\n", nr.Name, "-", nr.NsPerOp, "-", "-", "-")
 			continue
 		}
-		nsDelta, allocDelta := "-", "-"
+		nsDelta, memDelta, allocDelta := "-", "-", "-"
 		regressed := false
 		if or.NsPerOp > 0 && nr.NsPerOp > 0 {
 			d := pct(or.NsPerOp, nr.NsPerOp)
 			nsDelta = fmt.Sprintf("%+.1f", d)
 			regressed = d > maxRegress
+		}
+		if or.BytesPerOp > 0 && nr.BytesPerOp > 0 {
+			d := pct(or.BytesPerOp, nr.BytesPerOp)
+			memDelta = fmt.Sprintf("%+.1f", d)
+			regressed = regressed || d > maxMemRegress
 		}
 		if or.AllocsPerOp > 0 && nr.AllocsPerOp > 0 {
 			allocDelta = fmt.Sprintf("%+.1f", pct(or.AllocsPerOp, nr.AllocsPerOp))
@@ -157,14 +168,14 @@ func diffRecords(oldPath, newPath string, maxRegress float64) int {
 			mark = "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-26s %15.0f %15.0f %8s %10s%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, nsDelta, allocDelta, mark)
+		fmt.Printf("%-26s %15.0f %15.0f %8s %8s %10s%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, nsDelta, memDelta, allocDelta, mark)
 	}
 	for name := range oldBy {
 		fmt.Printf("%-26s  (removed)\n", name)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% between %s and %s\n",
-			maxRegress, oldPath, newPath)
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op (>%.0f%%) or bytes/op (>%.0f%%) regression between %s and %s\n",
+			maxRegress, maxMemRegress, oldPath, newPath)
 		return 1
 	}
 	return 0

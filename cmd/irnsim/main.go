@@ -44,7 +44,7 @@ func main() {
 		flows     = flag.Int("flows", 2000, "number of flows")
 		buffer    = flag.Int("buffer", 0, "per-port buffer bytes (0 = 2xBDP)")
 		seed      = flag.Uint64("seed", 1, "random seed (base seed when -trials > 1)")
-		workload  = flag.String("workload", "heavy", "workload: heavy | uniform")
+		workload  = flag.String("workload", "heavy", "workload: heavy | uniform | websearch | hadoop")
 		incast    = flag.Int("incast", 0, "incast fan-in M (0 = Poisson workload)")
 		recovery  = flag.String("recovery", "sack", "IRN loss recovery: sack | gbn | nosack")
 		noBDPFC   = flag.Bool("no-bdpfc", false, "disable IRN's BDP-FC")
@@ -111,6 +111,10 @@ func main() {
 	case "heavy":
 	case "uniform":
 		s.Workload = exp.WorkloadUniform
+	case "websearch":
+		s.Workload = exp.WorkloadWebSearch
+	case "hadoop":
+		s.Workload = exp.WorkloadHadoop
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)

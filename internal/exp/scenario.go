@@ -83,6 +83,8 @@ type WorkloadKind uint8
 const (
 	WorkloadHeavyTailed WorkloadKind = iota // §4.1 default
 	WorkloadUniform                         // §4.4 storage (500KB-5MB)
+	WorkloadWebSearch                       // empirical web-search CDF (DCTCP-style)
+	WorkloadHadoop                          // empirical Hadoop CDF (FB-style); figdc default
 )
 
 // Scenario fully describes one simulation run. Zero values select the
@@ -156,6 +158,14 @@ type Scenario struct {
 	// Grace is how long past the last flow arrival the simulation may
 	// run before unfinished flows are declared incomplete.
 	Grace sim.Duration
+
+	// ExactMetrics switches the run's collectors into exact mode: every
+	// flow record is retained (O(flows) memory again) and the Result
+	// carries the merged collector so the sort-based reference statistics
+	// are available next to the streaming ones. Only the differential
+	// test harness sets this; it is excluded from the store fingerprint
+	// like Shards, since it cannot change any streaming aggregate.
+	ExactMetrics bool
 }
 
 // normalize fills defaults.
@@ -247,6 +257,21 @@ type Result struct {
 	Events uint64
 	// SimTime is the simulated time at which the run ended.
 	SimTime sim.Time
+	// FCTSketch is the merged FCT histogram of all completed flows —
+	// exact integer bucket counts, so it is bit-identical for every shard
+	// count and persists losslessly through the store (schema v2).
+	FCTSketch *metrics.Histogram
+	// MetricsBytes is the approximate live-heap footprint of the run's
+	// collectors (per-shard plus the merged aggregate). For streaming
+	// runs it is O(shards), independent of flow count — the figdc
+	// memory-bound tests assert on it. It varies with the shard count, so
+	// the shard-determinism tests zero it alongside Scenario.Shards.
+	MetricsBytes int
+	// ExactCollector is the merged exact-mode collector (records
+	// retained), set only when Scenario.ExactMetrics is on; nil
+	// otherwise. The differential harness reads its Exact* reference
+	// statistics.
+	ExactCollector *metrics.Collector
 }
 
 // senderStats abstracts per-transport counters.
@@ -454,6 +479,10 @@ func (w *Worker) Run(s Scenario) Result {
 		switch s.Workload {
 		case WorkloadUniform:
 			dist = workload.NewUniform()
+		case WorkloadWebSearch:
+			dist = workload.NewWebSearch()
+		case WorkloadHadoop:
+			dist = workload.NewHadoop()
 		default:
 			dist = workload.NewHeavyTailed()
 		}
@@ -478,9 +507,16 @@ func (w *Worker) Run(s Scenario) Result {
 		flows:       make([]*transport.Flow, len(specs)),
 		stats:       make([]senderStats, len(specs)),
 		rcvs:        make([]*rocev2.Receiver, len(specs)),
-		recs:        make([]metrics.FlowRecord, len(specs)),
+		cols:        make([]*metrics.Collector, net.Shards()),
 		shard:       make([]launcherShard, net.Shards()),
 		incastFlows: incastFlows,
+	}
+	for i := range l.cols {
+		if s.ExactMetrics {
+			l.cols[i] = metrics.NewExact()
+		} else {
+			l.cols[i] = &metrics.Collector{}
+		}
 	}
 
 	// Each flow arrives as two typed events: the sender attaches on the
@@ -542,15 +578,21 @@ func (w *Worker) Run(s Scenario) Result {
 		}
 	}
 	res.RCT = sim.Duration(incastDone)
-	// Completion records accumulate per flow during the run (written by
-	// whichever shard owns the destination); folding them into the
-	// collector in flow order here keeps every floating-point reduction
-	// shard-invariant.
+	// Completions streamed into per-shard collectors during the run
+	// (each written only by the shard owning the flow's destination);
+	// merge them in shard order. Every merged aggregate is exact-integer
+	// state, so the fold reproduces the serial run bit for bit.
+	agg := &metrics.Collector{}
+	if s.ExactMetrics {
+		agg = metrics.NewExact()
+	}
+	for _, c := range l.cols {
+		res.MetricsBytes += c.MemFootprint()
+		agg.Merge(c)
+	}
 	for i, fl := range l.flows {
-		if fl.Finished {
-			l.col.Add(l.recs[i])
-		} else {
-			l.col.AddIncomplete()
+		if !fl.Finished {
+			agg.AddIncomplete()
 		}
 		if st := l.stats[i]; st != nil {
 			res.Retransmits += st.retransmits()
@@ -560,8 +602,13 @@ func (w *Worker) Run(s Scenario) Result {
 			res.Timeouts += rcv.TimeoutNacks
 		}
 	}
-	res.Summary = l.col.Summarize()
-	res.SinglePktCDF = l.col.SinglePacketTail([]float64{90, 95, 99, 99.9})
+	res.MetricsBytes += agg.MemFootprint()
+	res.Summary = agg.Summarize()
+	res.SinglePktCDF = agg.SinglePacketTail([]float64{90, 95, 99, 99.9})
+	res.FCTSketch = agg.FCTHistogram()
+	if s.ExactMetrics {
+		res.ExactCollector = agg
+	}
 	return res
 }
 
@@ -592,13 +639,18 @@ type launcher struct {
 	bdpCap int
 	minRTT sim.Duration
 
-	specs       []workload.Spec
-	flows       []*transport.Flow
-	stats       []senderStats        // [i] written by the shard of flow i's source
-	rcvs        []*rocev2.Receiver   // [i] written by the shard of flow i's destination
-	recs        []metrics.FlowRecord // [i] written by the shard of flow i's destination
+	specs []workload.Spec
+	flows []*transport.Flow
+	stats []senderStats      // [i] written by the shard of flow i's source
+	rcvs  []*rocev2.Receiver // [i] written by the shard of flow i's destination
+	// cols[k] is shard k's streaming collector: each completion folds
+	// into the collector of the shard owning the flow's destination as it
+	// happens, so a run holds O(shards) metric state instead of a
+	// per-flow record slice. The coordinator merges them in shard order
+	// after the run; every merged aggregate is integer-derived, so the
+	// fold is bit-identical for any shard count.
+	cols        []*metrics.Collector
 	shard       []launcherShard
-	col         metrics.Collector // folded from recs after the run, in flow order
 	incastFlows int
 }
 
@@ -627,14 +679,15 @@ func (l *launcher) allDone() bool {
 func (l *launcher) FlowDone(fl *transport.Flow, now sim.Time) {
 	i := int(fl.ID) - 1
 	spec := l.specs[i]
-	l.recs[i] = metrics.FlowRecord{
+	k := l.net.ShardOf(fl.Dst)
+	l.cols[k].Add(metrics.FlowRecord{
 		Size:         spec.Size,
 		Pkts:         fl.Pkts,
 		FCT:          now.Sub(spec.Start),
 		Ideal:        l.net.IdealFCT(spec.Src, spec.Dst, spec.Size),
 		SinglePacket: fl.Pkts == 1,
-	}
-	sh := &l.shard[l.net.ShardOf(fl.Dst)]
+	})
+	sh := &l.shard[k]
 	if i < l.incastFlows && now > sh.incastDone {
 		sh.incastDone = now
 	}

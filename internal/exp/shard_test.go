@@ -22,6 +22,9 @@ func shardScale() Scale {
 // and a serial Result: the knob itself.
 func stripShards(r Result) Result {
 	r.Scenario.Shards = 0
+	// Collector footprint is O(shards) by design — the one Result field
+	// that legitimately varies with the partitioning.
+	r.MetricsBytes = 0
 	return r
 }
 

@@ -6,7 +6,10 @@ import (
 	"hash/fnv"
 	"math"
 	"os"
+	"reflect"
 	"sort"
+
+	"github.com/irnsim/irn/internal/metrics"
 )
 
 // Row is one persisted result: the headline metrics of a single
@@ -28,15 +31,24 @@ type Row struct {
 	AvgSlowdown float64 `json:"avg_slowdown"`
 	AvgFCTms    float64 `json:"avg_fct_ms"`
 	P99FCTms    float64 `json:"p99_fct_ms"`
-	RCTms       float64 `json:"rct_ms,omitempty"`
-	Drops       uint64  `json:"drops"`
-	FaultDrops  uint64  `json:"fault_drops,omitempty"`
-	Corrupted   uint64  `json:"corrupted,omitempty"`
-	PauseFrames uint64  `json:"pause_frames"`
-	ECNMarked   uint64  `json:"ecn_marked"`
-	Retransmits uint64  `json:"retransmits"`
-	Timeouts    uint64  `json:"timeouts"`
-	Events      uint64  `json:"events"`
+	// Quantile columns beyond p99 (schema v2; absent in v0/v1 rows).
+	P50FCTms  float64 `json:"p50_fct_ms,omitempty"`
+	P90FCTms  float64 `json:"p90_fct_ms,omitempty"`
+	P999FCTms float64 `json:"p999_fct_ms,omitempty"`
+	RCTms     float64 `json:"rct_ms,omitempty"`
+	// FCTSketch persists the full streaming histogram (schema v2), so
+	// any quantile — not just the flattened columns — can be re-read
+	// from a saved store, and sketches from sharded reruns can be
+	// compared bucket for bucket.
+	FCTSketch   *metrics.Histogram `json:"fct_sketch,omitempty"`
+	Drops       uint64             `json:"drops"`
+	FaultDrops  uint64             `json:"fault_drops,omitempty"`
+	Corrupted   uint64             `json:"corrupted,omitempty"`
+	PauseFrames uint64             `json:"pause_frames"`
+	ECNMarked   uint64             `json:"ecn_marked"`
+	Retransmits uint64             `json:"retransmits"`
+	Timeouts    uint64             `json:"timeouts"`
+	Events      uint64             `json:"events"`
 }
 
 // Key identifies a row within a store.
@@ -52,8 +64,10 @@ func Fingerprint(s Scenario) string {
 	// Intra-run sharding is a wall-clock knob with bit-identical results
 	// (the determinism tests pin it), so it is not part of a result's
 	// configuration identity: a sharded rerun must land on — and compare
-	// against — the serial run's row.
+	// against — the serial run's row. ExactMetrics likewise: it only adds
+	// reference state on the side, never changes a streaming aggregate.
 	n.Shards = 0
+	n.ExactMetrics = false
 	data, err := json.Marshal(n)
 	if err != nil {
 		// Scenario is a plain struct; Marshal cannot fail on it.
@@ -78,7 +92,11 @@ func RowFromResult(expID string, trial int, res Result) Row {
 		AvgSlowdown: res.AvgSlowdown,
 		AvgFCTms:    res.AvgFCT.Millis(),
 		P99FCTms:    res.TailFCT.Millis(),
+		P50FCTms:    res.Summary.P50FCT.Millis(),
+		P90FCTms:    res.Summary.P90FCT.Millis(),
+		P999FCTms:   res.Summary.P999FCT.Millis(),
 		RCTms:       res.RCT.Millis(),
+		FCTSketch:   res.FCTSketch,
 		Drops:       res.Net.Drops,
 		FaultDrops:  res.Net.FaultDrops,
 		Corrupted:   res.Net.Corrupted,
@@ -153,15 +171,21 @@ func (st *Store) Restrict(other *Store) *Store {
 	return sub
 }
 
+// storeVersion is the current on-disk schema. v2 added the quantile
+// columns and the persisted FCT sketch; v0/v1 rows (no version field, or
+// version 1) load unchanged with those fields simply absent.
+const storeVersion = 2
+
 // storeFile is the on-disk JSON envelope.
 type storeFile struct {
-	Rows []Row `json:"rows"`
+	Version int   `json:"version,omitempty"`
+	Rows    []Row `json:"rows"`
 }
 
 // Save writes the store as indented JSON with rows in key order, so
 // reruns of identical experiments produce byte-identical files.
 func (st *Store) Save(path string) error {
-	data, err := json.MarshalIndent(storeFile{Rows: st.Rows()}, "", "  ")
+	data, err := json.MarshalIndent(storeFile{Version: storeVersion, Rows: st.Rows()}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -177,6 +201,9 @@ func LoadStore(path string) (*Store, error) {
 	var f storeFile
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("exp: parsing %s: %w", path, err)
+	}
+	if f.Version > storeVersion {
+		return nil, fmt.Errorf("exp: %s is store schema v%d, this build reads ≤ v%d", path, f.Version, storeVersion)
 	}
 	st := NewStore()
 	for _, r := range f.Rows {
@@ -247,7 +274,13 @@ func diffRow(a, b Row) []string {
 	numeric("avg_slowdown", a.AvgSlowdown, b.AvgSlowdown)
 	numeric("avg_fct_ms", a.AvgFCTms, b.AvgFCTms)
 	numeric("p99_fct_ms", a.P99FCTms, b.P99FCTms)
+	numeric("p50_fct_ms", a.P50FCTms, b.P50FCTms)
+	numeric("p90_fct_ms", a.P90FCTms, b.P90FCTms)
+	numeric("p999_fct_ms", a.P999FCTms, b.P999FCTms)
 	numeric("rct_ms", a.RCTms, b.RCTms)
+	if !reflect.DeepEqual(a.FCTSketch, b.FCTSketch) {
+		out = append(out, fmt.Sprintf("~ %s fct_sketch: bucket counts differ", a.Key()))
+	}
 	numeric("drops", float64(a.Drops), float64(b.Drops))
 	numeric("fault_drops", float64(a.FaultDrops), float64(b.FaultDrops))
 	numeric("corrupted", float64(a.Corrupted), float64(b.Corrupted))

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -167,5 +169,79 @@ func TestStoreFleetRoundTrip(t *testing.T) {
 	rerun.PutFleet(RunFleet(e, cfg))
 	if d := Diff(loaded, rerun); len(d) != 0 {
 		t.Fatalf("rerun diff not empty: %v", d)
+	}
+}
+
+func TestStoreSchemaMigration(t *testing.T) {
+	dir := t.TempDir()
+
+	// A v1 file — written before the version field and the sketch
+	// existed — must load cleanly, with the v2 columns simply absent.
+	v1 := filepath.Join(dir, "v1.json")
+	old := `{"rows":[{"exp":"fig1","name":"IRN","seed":1,"trial":0,"cfg":"deadbeef",` +
+		`"flows":100,"incomplete":0,"avg_slowdown":1.5,"avg_fct_ms":0.2,"p99_fct_ms":0.9,` +
+		`"drops":3,"pause_frames":0,"ecn_marked":0,"retransmits":0,"timeouts":0,"events":42}]}`
+	if err := os.WriteFile(v1, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadStore(v1)
+	if err != nil {
+		t.Fatalf("v1 store must load: %v", err)
+	}
+	rows := st.Rows()
+	if len(rows) != 1 || rows[0].Flows != 100 || rows[0].FCTSketch != nil || rows[0].P50FCTms != 0 {
+		t.Fatalf("migrated row wrong: %+v", rows)
+	}
+
+	// Re-saving upgrades the envelope to the current version.
+	if err := st.Save(v1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version": 2`) {
+		t.Error("re-saved store must carry the current schema version")
+	}
+
+	// A file from a future schema must refuse to load rather than be
+	// silently misread.
+	future := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(future, []byte(`{"version":3,"rows":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadStore(future); err == nil {
+		t.Fatal("want error loading a v3 store")
+	}
+}
+
+func TestStoreSketchRoundTrip(t *testing.T) {
+	// A real run's sketch must survive save → load bucket for bucket —
+	// Diff compares it with DeepEqual, so any codec loss shows up here.
+	e, _ := ByID("fig1", Scale{Flows: 30, IncastBytes: 1, IncastReps: 1})
+	res := Run(e.Scenarios[0])
+	if res.FCTSketch == nil || res.FCTSketch.N() == 0 {
+		t.Fatal("run produced no sketch")
+	}
+	st := NewStore()
+	st.Put(RowFromResult("fig1", 0, res))
+	path := filepath.Join(t.TempDir(), "sketch.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(st, loaded); len(d) != 0 {
+		t.Fatalf("sketch round-trip diff: %v", d)
+	}
+	got := loaded.Rows()[0].FCTSketch
+	if !reflect.DeepEqual(got, res.FCTSketch) {
+		t.Fatal("sketch buckets diverged through the store")
+	}
+	if got.Quantile(99) != res.FCTSketch.Quantile(99) {
+		t.Fatal("persisted sketch answers a different p99")
 	}
 }

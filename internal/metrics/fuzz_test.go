@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzHistogramMerge checks the algebraic laws the sharded launcher's
+// fold relies on: merging per-shard histograms is associative,
+// commutative, and order-independent — any sharding of one observation
+// stream reproduces the single histogram exactly — and quantiles read
+// from the merged sketch form a monotone CDF. Mirrors the differential
+// style of FuzzShardMerge in internal/exp.
+func FuzzHistogramMerge(f *testing.F) {
+	f.Add([]byte{}, uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 255, 255, 255, 255, 255, 255, 255, 255}, uint8(3))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, nShards uint8) {
+		shards := int(nShards%8) + 1
+		// Decode the fuzz input as a stream of int64 observations.
+		var vals []int64
+		for len(data) >= 8 {
+			vals = append(vals, int64(binary.LittleEndian.Uint64(data[:8])))
+			data = data[8:]
+		}
+
+		var single Histogram
+		parts := make([]*Histogram, shards)
+		for i := range parts {
+			parts[i] = &Histogram{}
+		}
+		for i, v := range vals {
+			single.Observe(v)
+			parts[i%shards].Observe(v)
+		}
+
+		// Left fold and reversed fold must both equal the single sketch.
+		var fwd, rev Histogram
+		for i := range parts {
+			fwd.Merge(parts[i])
+			rev.Merge(parts[len(parts)-1-i])
+		}
+		if len(vals) > 0 {
+			if !reflect.DeepEqual(&fwd, &single) {
+				t.Fatalf("forward merge diverged from single\nmerged: %+v\nsingle: %+v", fwd, single)
+			}
+			if !reflect.DeepEqual(&rev, &single) {
+				t.Fatal("reversed merge order diverged from single")
+			}
+		} else if fwd.N() != 0 || rev.N() != 0 {
+			t.Fatal("empty stream produced observations")
+		}
+
+		// Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) for a 3-way split.
+		if shards >= 3 {
+			var ab Histogram
+			ab.Merge(parts[0])
+			ab.Merge(parts[1])
+			ab.Merge(parts[2])
+			var bc Histogram
+			bc.Merge(parts[1])
+			bc.Merge(parts[2])
+			var a Histogram
+			a.Merge(parts[0])
+			a.Merge(&bc)
+			if !reflect.DeepEqual(&ab, &a) {
+				t.Fatal("merge is not associative")
+			}
+		}
+
+		// Monotone CDF: Quantile must be non-decreasing in p.
+		if single.N() > 0 {
+			prev := single.Quantile(0.001)
+			for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+				q := single.Quantile(p)
+				if q < prev {
+					t.Fatalf("quantile not monotone: p%v=%d < previous %d", p, q, prev)
+				}
+				prev = q
+			}
+			if single.Quantile(100) != single.Max() {
+				t.Fatalf("p100 %d != exact max %d", single.Quantile(100), single.Max())
+			}
+		}
+	})
+}

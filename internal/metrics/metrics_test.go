@@ -2,11 +2,17 @@ package metrics
 
 import (
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
 	"github.com/irnsim/irn/internal/sim"
 )
+
+// relErr is the relative error of got against a non-zero want.
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}
 
 func TestCollectorBasics(t *testing.T) {
 	var c Collector
@@ -39,17 +45,64 @@ func TestPercentiles(t *testing.T) {
 	for i := 1; i <= 100; i++ {
 		c.Add(FlowRecord{FCT: sim.Duration(i), Ideal: 1})
 	}
-	if got := c.PercentileFCT(99); got != 99 {
-		t.Errorf("p99 = %v, want 99", got)
-	}
-	if got := c.PercentileFCT(50); got != 50 {
-		t.Errorf("p50 = %v, want 50", got)
+	// Streaming quantiles land within the documented ε of the exact
+	// order statistic; the extremes are exact (min/max clamping).
+	for _, tc := range []struct {
+		p     float64
+		exact float64
+	}{{50, 50}, {90, 90}, {99, 99}} {
+		got := float64(c.PercentileFCT(tc.p))
+		if relErr(got, tc.exact) > QuantileEpsilon {
+			t.Errorf("p%v = %v, want %v ± %v%%", tc.p, got, tc.exact, QuantileEpsilon*100)
+		}
 	}
 	if got := c.PercentileFCT(100); got != 100 {
-		t.Errorf("p100 = %v, want 100", got)
+		t.Errorf("p100 = %v, want exact max 100", got)
 	}
-	if got := c.TailFCT(); got != 99 {
+	if got := float64(c.TailFCT()); relErr(got, 99) > QuantileEpsilon {
 		t.Errorf("tail = %v", got)
+	}
+}
+
+func TestExactReferenceSemantics(t *testing.T) {
+	// Exact mode preserves the historical sort-based behavior bit for
+	// bit — the reference the differential harness compares against.
+	c := NewExact()
+	for i := 1; i <= 100; i++ {
+		c.Add(FlowRecord{FCT: sim.Duration(i), Ideal: 1})
+	}
+	if got := c.ExactPercentileFCT(99); got != 99 {
+		t.Errorf("exact p99 = %v, want 99", got)
+	}
+	if got := c.ExactPercentileFCT(50); got != 50 {
+		t.Errorf("exact p50 = %v, want 50", got)
+	}
+	if got := c.ExactPercentileFCT(100); got != 100 {
+		t.Errorf("exact p100 = %v, want 100", got)
+	}
+	if got := c.ExactAvgFCT(); got != c.AvgFCT() {
+		t.Errorf("exact avg %v != streaming avg %v", got, c.AvgFCT())
+	}
+	if relErr(c.ExactAvgSlowdown(), c.AvgSlowdown()) > 1e-6 {
+		t.Errorf("exact slowdown %v vs streaming %v", c.ExactAvgSlowdown(), c.AvgSlowdown())
+	}
+}
+
+func TestRecordsCopied(t *testing.T) {
+	// Streaming collectors retain nothing; exact collectors hand out a
+	// copy that callers may sort or truncate freely.
+	var stream Collector
+	stream.Add(FlowRecord{FCT: 5, Ideal: 1})
+	if stream.Records() != nil {
+		t.Error("streaming collector must not retain records")
+	}
+	ex := NewExact()
+	ex.Add(FlowRecord{FCT: 5, Ideal: 1})
+	ex.Add(FlowRecord{FCT: 9, Ideal: 1})
+	recs := ex.Records()
+	recs[0].FCT = 12345
+	if got := ex.Records()[0].FCT; got != 5 {
+		t.Errorf("mutating the returned slice leaked into the collector: %v", got)
 	}
 }
 
@@ -89,6 +142,129 @@ func TestSummaryString(t *testing.T) {
 		if !strings.Contains(str, want) {
 			t.Errorf("summary %q missing %q", str, want)
 		}
+	}
+}
+
+func TestCollectorMergeMatchesSingle(t *testing.T) {
+	// Sharding a record stream across collectors and merging in any
+	// grouping must reproduce the single collector's aggregates exactly
+	// — the contract the sharded launcher's fold depends on.
+	recs := syntheticRecords(999)
+	var single Collector
+	for _, r := range recs {
+		single.Add(r)
+	}
+	shards := []*Collector{{}, {}, {}}
+	for i, r := range recs {
+		shards[i%3].Add(r)
+	}
+	// Two different merge groupings.
+	var m1 Collector
+	for _, s := range shards {
+		m1.Merge(s)
+	}
+	var m2 Collector
+	m2.Merge(shards[2])
+	m2.Merge(shards[0])
+	m2.Merge(shards[1])
+	for _, m := range []*Collector{&m1, &m2} {
+		if m.Summarize() != single.Summarize() {
+			t.Fatalf("merged summary %+v != single %+v", m.Summarize(), single.Summarize())
+		}
+		if m.AvgSlowdown() != single.AvgSlowdown() {
+			t.Fatalf("merged slowdown %v != single %v", m.AvgSlowdown(), single.AvgSlowdown())
+		}
+	}
+	// Welford side statistics agree to float tolerance (not bit-exact).
+	if relErr(m1.SlowdownStats().Mean(), single.SlowdownStats().Mean()) > 1e-12 {
+		t.Errorf("welford mean diverged: %v vs %v", m1.SlowdownStats().Mean(), single.SlowdownStats().Mean())
+	}
+	if single.SlowdownStats().Variance() > 0 &&
+		relErr(m1.SlowdownStats().Variance(), single.SlowdownStats().Variance()) > 1e-9 {
+		t.Errorf("welford variance diverged: %v vs %v", m1.SlowdownStats().Variance(), single.SlowdownStats().Variance())
+	}
+}
+
+// syntheticRecords builds a deterministic heavy-tail-ish record stream
+// with realistic FCT magnitudes (tens of µs to tens of ms).
+func syntheticRecords(n int) []FlowRecord {
+	rng := sim.NewRNG(42)
+	recs := make([]FlowRecord, 0, n)
+	for i := 0; i < n; i++ {
+		fct := sim.Duration(20_000_000 + rng.Intn(1_000_000_000)) // 20 µs .. ~1 ms
+		if i%17 == 0 {
+			fct *= 31 // tail
+		}
+		ideal := fct / sim.Duration(1+rng.Intn(9))
+		recs = append(recs, FlowRecord{
+			Size:         1000 * (i + 1),
+			Pkts:         1 + i%64,
+			FCT:          fct,
+			Ideal:        ideal,
+			SinglePacket: i%3 == 0,
+		})
+	}
+	return recs
+}
+
+func TestStreamingQuantilesWithinEpsilon(t *testing.T) {
+	// Differential property at the package level: streaming quantiles
+	// against the exact sorted reference on a realistic distribution.
+	c := NewExact()
+	for _, r := range syntheticRecords(5000) {
+		c.Add(r)
+	}
+	for _, p := range []float64{10, 25, 50, 75, 90, 95, 99, 99.9, 100} {
+		got := float64(c.PercentileFCT(p))
+		want := float64(c.ExactPercentileFCT(p))
+		if relErr(got, want) > QuantileEpsilon {
+			t.Errorf("p%v: streaming %v vs exact %v (rel err %v)", p, got, want, relErr(got, want))
+		}
+	}
+	sp := c.SinglePacketTail([]float64{90, 95, 99, 99.9})
+	ref := c.ExactSinglePacketTail([]float64{90, 95, 99, 99.9})
+	for i := range sp {
+		if relErr(float64(sp[i].Latency), float64(ref[i].Latency)) > QuantileEpsilon {
+			t.Errorf("single-packet p%v: %v vs %v", sp[i].Percentile, sp[i].Latency, ref[i].Latency)
+		}
+	}
+}
+
+func TestCollectorAddAllocsO1(t *testing.T) {
+	// Steady-state Add must not allocate: the sketches are fixed-size
+	// and lazily allocated exactly once. (The warm-up run AllocsPerRun
+	// performs absorbs the one-time counts allocation.)
+	var c Collector
+	r := FlowRecord{FCT: 123_456_789, Ideal: 1_000_000, SinglePacket: true}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(r) }); n != 0 {
+		t.Errorf("Add allocates %v per call, want 0", n)
+	}
+}
+
+func TestCollectorMemoryBounded(t *testing.T) {
+	// Hard byte budget via MemStats delta: 100k flows through a
+	// streaming collector must not grow the live heap beyond the two
+	// fixed sketches (≈18 KB) plus slack — nothing per-flow survives.
+	recs := syntheticRecords(1000)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	c := &Collector{}
+	for i := 0; i < 100_000; i++ {
+		c.Add(recs[i%len(recs)])
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	const budget = 256 << 10
+	if delta > budget {
+		t.Errorf("live heap grew by %d bytes for 100k flows, budget %d", delta, budget)
+	}
+	if c.Count() != 100_000 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	if fp := c.MemFootprint(); fp > 64<<10 {
+		t.Errorf("MemFootprint = %d, want O(sketches) < 64KB", fp)
 	}
 }
 

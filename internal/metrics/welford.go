@@ -1,0 +1,68 @@
+package metrics
+
+import "math"
+
+// Welford is an online mean/variance accumulator (Welford's algorithm)
+// with the Chan et al. parallel combination rule for Merge. It is the
+// collector's side-channel statistic for slowdown and FCT spread:
+// numerically stable at any count, O(1) memory, no record retention.
+//
+// Unlike the histogram sketch and the integer sums, Welford state is
+// floating point and its Merge is grouping-sensitive in the last ulps —
+// so it deliberately feeds only diagnostic accessors, never the Result
+// fields covered by the bit-identical shard-determinism contract (see
+// the streaming-metrics section of ARCHITECTURE.md).
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge combines another accumulator into w (Chan et al.).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := float64(w.n + o.n)
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / n
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/n
+	w.n += o.n
+}
+
+// N returns the number of observations.
+func (w Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 when empty).
+func (w Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the Bessel-corrected variance (0 when n < 2).
+func (w Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the population standard deviation.
+func (w Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }

@@ -9,6 +9,7 @@ package workload
 
 import (
 	"math"
+	"sort"
 
 	"github.com/irnsim/irn/internal/packet"
 	"github.com/irnsim/irn/internal/sim"
@@ -109,6 +110,88 @@ func (u *Uniform) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
 
 // Name implements SizeDist.
 func (u *Uniform) Name() string { return "uniform(500KB-5MB)" }
+
+// Empirical is a piecewise-linear inverse-CDF distribution defined by
+// measured (size, cumulative-probability) points — the form datacenter
+// traffic studies publish their flow-size distributions in. Sampling
+// draws u ~ U(0,1) and linearly interpolates the size between the two
+// bracketing CDF points, so within each segment sizes are uniform and
+// the analytic mean is the trapezoid sum Σ Δp·(sᵢ+sᵢ₊₁)/2.
+type Empirical struct {
+	name string
+	size []float64 // strictly increasing sizes in bytes
+	cum  []float64 // cumulative probability at each size; cum[0]=0, last=1
+}
+
+// NewEmpirical builds a distribution from CDF points. The first point's
+// probability must be 0 and the last 1, sizes strictly increasing.
+func NewEmpirical(name string, pts [][2]float64) *Empirical {
+	if len(pts) < 2 || pts[0][1] != 0 || pts[len(pts)-1][1] != 1 {
+		panic("workload: empirical CDF must run from p=0 to p=1")
+	}
+	e := &Empirical{name: name}
+	for i, p := range pts {
+		if i > 0 && (p[0] <= pts[i-1][0] || p[1] < pts[i-1][1]) {
+			panic("workload: empirical CDF points must be increasing")
+		}
+		e.size = append(e.size, p[0])
+		e.cum = append(e.cum, p[1])
+	}
+	return e
+}
+
+// NewWebSearch returns the DCTCP-style web-search workload: a bimodal
+// mix of short queries and multi-megabyte background flows (mean ≈ 1.7 MB).
+func NewWebSearch() *Empirical {
+	return NewEmpirical("websearch", [][2]float64{
+		{100, 0}, {10_000, 0.15}, {20_000, 0.20}, {30_000, 0.30},
+		{50_000, 0.40}, {80_000, 0.53}, {200_000, 0.60}, {1_000_000, 0.70},
+		{2_000_000, 0.80}, {5_000_000, 0.90}, {10_000_000, 0.97},
+		{30_000_000, 1},
+	})
+}
+
+// NewHadoop returns the Facebook-Hadoop-style workload: dominated by
+// sub-2KB RPCs with a thin multi-megabyte tail (mean ≈ 200 KB) — the
+// figdc datacenter preset's default, light enough per flow that 10⁵
+// flows stay tractable in a serial run.
+func NewHadoop() *Empirical {
+	return NewEmpirical("hadoop", [][2]float64{
+		{130, 0}, {250, 0.20}, {600, 0.40}, {1_500, 0.60},
+		{10_000, 0.70}, {50_000, 0.80}, {300_000, 0.90},
+		{1_000_000, 0.96}, {5_000_000, 0.995}, {10_000_000, 1},
+	})
+}
+
+// Sample implements SizeDist.
+func (e *Empirical) Sample(rng *sim.RNG) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(e.cum, u)
+	if i == 0 {
+		i = 1
+	}
+	if i >= len(e.cum) {
+		i = len(e.cum) - 1
+	}
+	lo, hi := e.size[i-1], e.size[i]
+	f := 1.0
+	if e.cum[i] > e.cum[i-1] {
+		f = (u - e.cum[i-1]) / (e.cum[i] - e.cum[i-1])
+	}
+	return int(lo + f*(hi-lo))
+}
+
+// Mean implements SizeDist (trapezoid sum over CDF segments).
+func (e *Empirical) Mean() float64 {
+	m := 0.0
+	for i := 1; i < len(e.size); i++ {
+		m += (e.cum[i] - e.cum[i-1]) * (e.size[i] + e.size[i-1]) / 2
+	}
+	return m
+}
+
+// Name implements SizeDist.
+func (e *Empirical) Name() string { return "empirical(" + e.name + ")" }
 
 // Fixed always returns the same size (microbenchmarks).
 type Fixed int

@@ -177,3 +177,70 @@ func TestIncastPanicsOnBadFanIn(t *testing.T) {
 	}()
 	Incast(10, 10, 1000, 1)
 }
+
+func TestEmpiricalDists(t *testing.T) {
+	for _, d := range []*Empirical{NewWebSearch(), NewHadoop()} {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			lo, hi := d.size[0], d.size[len(d.size)-1]
+			rng := sim.NewRNG(3)
+			const n = 200000
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				s := d.Sample(rng)
+				if float64(s) < lo || float64(s) > hi {
+					t.Fatalf("sample %d outside CDF range [%v, %v]", s, lo, hi)
+				}
+				sum += float64(s)
+			}
+			// The empirical sample mean converges to the analytic
+			// trapezoid mean.
+			mean := sum / n
+			if math.Abs(mean-d.Mean())/d.Mean() > 0.05 {
+				t.Errorf("sample mean %.0f vs analytic %.0f", mean, d.Mean())
+			}
+		})
+	}
+	// The means that size the presets: websearch is megabyte-heavy,
+	// hadoop stays light enough for the 10⁵-flow figdc run.
+	if m := NewWebSearch().Mean(); m < 1e6 || m > 3e6 {
+		t.Errorf("websearch mean %.0f outside [1MB, 3MB]", m)
+	}
+	if m := NewHadoop().Mean(); m < 100_000 || m > 400_000 {
+		t.Errorf("hadoop mean %.0f outside [100KB, 400KB]", m)
+	}
+}
+
+func TestEmpiricalQuantileInterpolation(t *testing.T) {
+	// A two-point CDF is uniform on its range under linear
+	// interpolation; the analytic mean is the midpoint.
+	d := NewEmpirical("flat", [][2]float64{{100, 0}, {200, 1}})
+	if d.Mean() != 150 {
+		t.Fatalf("mean = %v, want 150", d.Mean())
+	}
+	rng := sim.NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if s := d.Sample(rng); s < 100 || s > 200 {
+			t.Fatalf("sample %d outside [100, 200]", s)
+		}
+	}
+}
+
+func TestEmpiricalRejectsBadCDF(t *testing.T) {
+	for name, pts := range map[string][][2]float64{
+		"no-zero-start":   {{100, 0.5}, {200, 1}},
+		"no-one-end":      {{100, 0}, {200, 0.9}},
+		"single-point":    {{100, 0}},
+		"decreasing-size": {{200, 0}, {100, 1}},
+		"decreasing-prob": {{100, 0}, {150, 0.8}, {200, 0.5}, {300, 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			NewEmpirical(name, pts)
+		}()
+	}
+}

@@ -7,11 +7,12 @@
 #
 #   jq -r '.benchmarks[] | [.name, .ns_per_op, .allocs_per_op] | @tsv' BENCH_1.json
 #
-# Delta mode diffs the two newest checked-in baselines and fails on ns/op
-# regressions (CI runs this in bench-smoke):
+# Delta mode diffs the two newest checked-in baselines and fails on
+# ns/op or bytes/op regressions (CI runs this in bench-smoke):
 #
 #   scripts/bench.sh delta            # newest vs. previous BENCH_*.json
 #   BENCH_MAX_REGRESS=5 scripts/bench.sh delta
+#   BENCH_MAX_MEM_REGRESS=5 scripts/bench.sh delta
 #
 # Shards mode sweeps the figscale preset across intra-run shard counts
 # and prints the wall-clock column per count (results are bit-identical
@@ -32,6 +33,9 @@
 #                  shared or single-core boxes.
 #   BENCH_MAX_REGRESS  delta mode's ns/op failure threshold in percent
 #                  (default: 10)
+#   BENCH_MAX_MEM_REGRESS  delta mode's bytes/op failure threshold in
+#                  percent (default: 10) — guards the streaming
+#                  collectors' O(shards) allocation invariant
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,6 +50,7 @@ if [ "${1:-}" = "delta" ]; then
         exit 2
     fi
     exec go run ./cmd/benchjson -delta -max-regress "${BENCH_MAX_REGRESS:-10}" \
+        -max-mem-regress "${BENCH_MAX_MEM_REGRESS:-10}" \
         "BENCH_${prev}.json" "BENCH_${latest}.json"
 fi
 
