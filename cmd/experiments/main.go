@@ -10,6 +10,10 @@
 //	experiments -diff old.json         # compare against a previous run
 //	experiments -flows 10000           # closer to paper-scale (slower)
 //	experiments -run figloss,figflap   # fault-injection robustness sweeps
+//	experiments -run figchaos          # chaos-suite robustness preset
+//	experiments -run endurance -shards 4
+//	                                   # minutes-long chaos soak with
+//	                                   # invariant checks each segment
 //	experiments -run fig1 -fault-loss 0.001
 //	                                   # overlay 0.1% random loss on fig1
 //	experiments -run figscale          # k=10 fat-tree scale-up (1024 flows)
@@ -38,6 +42,7 @@ import (
 	"github.com/irnsim/irn/internal/exp"
 	"github.com/irnsim/irn/internal/fault"
 	"github.com/irnsim/irn/internal/prof"
+	"github.com/irnsim/irn/internal/sim"
 )
 
 func main() {
@@ -57,6 +62,11 @@ func main() {
 		faultLoss    = flag.Float64("fault-loss", 0, "overlay a per-link random loss rate on every scenario")
 		faultCorrupt = flag.Float64("fault-corrupt", 0, "overlay a per-link corruption rate on every scenario")
 
+		chaosSuite = flag.String("chaos", "rolling", "endurance chaos suite: "+strings.Join(fault.SuiteNames(), " | "))
+		segments   = flag.Int("segments", 6, "endurance soak segments")
+		horizonMs  = flag.Int("horizon-ms", 20_000, "endurance simulated horizon per segment in ms")
+		enduranceK = flag.Int("endurance-arity", 10, "endurance fat-tree arity")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
@@ -69,14 +79,25 @@ func main() {
 		for _, e := range all {
 			fmt.Printf("%-14s %s (%d scenarios)\n", e.ID, e.Description, len(e.Scenarios))
 		}
+		fmt.Printf("%-14s long-horizon chaos soak (-chaos, -segments, -horizon-ms, -endurance-arity)\n", "endurance")
 		return
 	}
 
+	// The endurance soak is a harness of its own (segmented worker reuse,
+	// invariant checks, heap sampling), not a preset experiment; dispatch
+	// it before preset lookup. It composes with preset ids: the soak runs
+	// after the selected experiments.
+	runEndurance := false
 	selected := all
 	if *runIDs != "" {
 		selected = nil
 		for _, id := range strings.Split(*runIDs, ",") {
-			e, ok := exp.ByID(strings.TrimSpace(id), scale)
+			id = strings.TrimSpace(id)
+			if id == "endurance" {
+				runEndurance = true
+				continue
+			}
+			e, ok := exp.ByID(id, scale)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
 				os.Exit(2)
@@ -108,10 +129,9 @@ func main() {
 		}
 	}
 
-	// Overlay intra-run sharding on every scenario. RunFleet arbitrates
-	// the two parallelism axes (workers x shards <= GOMAXPROCS); fault
-	// scenarios ignore the knob and run serial, as documented on
-	// Scenario.Shards.
+	// Overlay intra-run sharding on every scenario — fault-injection
+	// presets included, which shard like any other. RunFleet arbitrates
+	// the two parallelism axes (workers x shards <= GOMAXPROCS).
 	if *shards > 1 {
 		for ei := range selected {
 			for si := range selected[ei].Scenarios {
@@ -136,6 +156,27 @@ func main() {
 		}
 		fmt.Printf("(%d scenarios x %d trials in %v)\n\n",
 			len(e.Scenarios), fr.Config.Trials, time.Since(start).Round(time.Millisecond))
+	}
+	if runEndurance {
+		ecfg := exp.EnduranceConfig{
+			Arity:    *enduranceK,
+			Segments: *segments,
+			Horizon:  sim.Duration(*horizonMs) * sim.Millisecond,
+			Suite:    *chaosSuite,
+			Seed:     *seed,
+			Shards:   *shards,
+			Log:      func(line string) { fmt.Println("  " + line) },
+		}
+		fmt.Printf("endurance soak: k=%d suite=%s %d segments x %dms\n",
+			ecfg.Arity, ecfg.Suite, ecfg.Segments, *horizonMs)
+		start := time.Now()
+		rep, err := exp.RunEndurance(ecfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "endurance soak failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("soak held: %.1fs of simulated time, %d segments, %d fabric build(s), invariants clean (%v)\n\n",
+			rep.SimTime.Seconds(), len(rep.Segments), rep.Rebuilds, time.Since(start).Round(time.Millisecond))
 	}
 	stopProfiles()
 	fmt.Printf("suite completed in %v\n", time.Since(suiteStart).Round(time.Second))

@@ -14,6 +14,7 @@
 //	irnsim -fault-loss 0.001                      # 0.1% random per-link loss
 //	irnsim -flap-links 8 -flap-down-us 400        # transient link failures
 //	irnsim -degrade-links 8 -degrade-factor 0.25  # links at quarter speed
+//	irnsim -chaos rolling -shards 4               # chaos suite, sharded
 //	irnsim -cpuprofile cpu.prof -memprofile mem.prof
 //	                                              # pprof the run (go tool pprof)
 package main
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/irnsim/irn/internal/core"
@@ -50,7 +52,7 @@ func main() {
 		noBDPFC   = flag.Bool("no-bdpfc", false, "disable IRN's BDP-FC")
 		overheads = flag.Bool("worst-overheads", false, "model the §6.3 worst-case overheads")
 		trials    = flag.Int("trials", 1, "repeat the scenario under derived seeds")
-		shards    = flag.Int("shards", 1, "split the single run across this many cores (bit-identical results; fault scenarios run serial)")
+		shards    = flag.Int("shards", 1, "split the single run across this many cores (bit-identical results)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trial workers")
 		out       = flag.String("out", "", "persist results as JSON (merging into an existing file)")
 
@@ -62,6 +64,9 @@ func main() {
 		flapCount     = flag.Int("flap-count", 3, "flaps per chosen link")
 		degradeLinks  = flag.Int("degrade-links", 0, "number of fabric links running degraded")
 		degradeFactor = flag.Float64("degrade-factor", 0.25, "degraded links' bandwidth fraction (0-1]")
+		chaos         = flag.String("chaos", "", "chaos suite to run under: "+strings.Join(fault.SuiteNames(), " | "))
+		chaosCycleUs  = flag.Int("chaos-cycle-us", 400, "chaos cycle length in µs")
+		chaosCycles   = flag.Int("chaos-cycles", 6, "chaos cycles")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
@@ -145,6 +150,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *chaos != "" {
+		suite, ok := fault.SuiteByName(*chaos)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown chaos suite %q (have %s)\n", *chaos, strings.Join(fault.SuiteNames(), ", "))
+			os.Exit(2)
+		}
+		t := topo.NewFatTree(*arity)
+		sched := suite.Build(t, sim.Time(100*sim.Microsecond),
+			sim.Duration(*chaosCycleUs)*sim.Microsecond, *chaosCycles, *seed)
+		spec, err := sched.Compile(t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Keep any -fault-loss/-fault-corrupt base rates underneath the
+		// suite's phases.
+		spec.LossRate, spec.CorruptRate = s.Faults.LossRate, s.Faults.CorruptRate
+		s.Faults = spec
+	}
 	if *flapLinks > 0 || *degradeLinks > 0 {
 		t := topo.NewFatTree(*arity)
 		if *flapLinks > 0 {
@@ -177,7 +201,9 @@ func main() {
 	if *incast > 0 {
 		s.Name += fmt.Sprintf(" incast M=%d", *incast)
 	}
-	if s.Faults.Enabled() {
+	if *chaos != "" {
+		s.Name += fmt.Sprintf(" chaos[%s x%d]", *chaos, *chaosCycles)
+	} else if s.Faults.Enabled() {
 		s.Name += fmt.Sprintf(" faults[loss=%g corrupt=%g flaps=%d degraded=%d]",
 			*faultLoss, *faultCorrupt, *flapLinks, *degradeLinks)
 	}

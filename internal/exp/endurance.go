@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/irnsim/irn/internal/fabric"
+	"github.com/irnsim/irn/internal/fault"
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
+	"github.com/irnsim/irn/internal/workload"
+)
+
+// EnduranceConfig drives a long-horizon soak: segments of simulated time
+// on one large fat-tree, each under a freshly sampled cycle of a named
+// chaos suite, run back to back on a single Worker so the zero-rebuild
+// reuse path carries the whole soak. The zero value (after normalization)
+// soaks a k=10 fat-tree for six 20-second segments — two minutes of
+// simulated time — under the "rolling" suite.
+type EnduranceConfig struct {
+	Arity     int          // fat-tree arity; default 10 (250 hosts)
+	Segments  int          // default 6
+	Flows     int          // flows per segment; default 3000
+	Horizon   sim.Duration // target simulated time per segment; default 20 s
+	Cycles    int          // chaos cycles per segment; default 6
+	Suite     string       // chaos suite name; default "rolling"
+	Seed      uint64       // default 1
+	Shards    int          // intra-run sharding; default 1
+	Transport Transport    // default IRN
+	PFC       bool
+	// Log, when set, receives one progress line per segment.
+	Log func(string)
+}
+
+// normalize fills defaults.
+func (c EnduranceConfig) normalize() EnduranceConfig {
+	if c.Arity == 0 {
+		c.Arity = 10
+	}
+	if c.Segments == 0 {
+		c.Segments = 6
+	}
+	if c.Flows == 0 {
+		c.Flows = 3000
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 20 * sim.Second
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// EnduranceSegment is one soak segment's outcome plus the live heap
+// observed after it (post-GC), the bounded-memory series the soak
+// asserts on.
+type EnduranceSegment struct {
+	Result
+	HeapLive uint64
+}
+
+// EnduranceReport aggregates a soak.
+type EnduranceReport struct {
+	Segments []EnduranceSegment
+	// SimTime is the total simulated time across segments.
+	SimTime sim.Duration
+	// Rebuilds is how many fabrics the worker constructed: 1 when the
+	// zero-rebuild path held for every segment after the first.
+	Rebuilds int
+}
+
+// RunEndurance executes the soak and verifies, after every segment, the
+// packet-conservation census and the pool accounting — the same equations
+// the invariant harness asserts — failing fast with a descriptive error
+// on the first violation. Memory stays bounded by construction (streaming
+// collectors, pooled packets, zero-rebuild fabric reuse); the per-segment
+// HeapLive series in the report is what tests assert a budget over.
+//
+// The chaos schedule of segment i is the configured suite with link
+// samples drawn from DeriveSeed(seed, "endurance/segment", i), compiled
+// against the soak topology; its cycles span the segment's expected
+// arrival horizon, which the workload's Load is chosen to stretch to
+// cfg.Horizon (low load = long horizon at a fixed flow budget — the soak
+// measures sustained robustness, not congestion).
+func RunEndurance(cfg EnduranceConfig) (EnduranceReport, error) {
+	cfg = cfg.normalize()
+	var rep EnduranceReport
+
+	t := topo.NewFatTree(cfg.Arity)
+	suite, ok := fault.SuiteByName(cfg.Suite)
+	if !ok {
+		return rep, fmt.Errorf("exp: unknown chaos suite %q (have %v)", cfg.Suite, fault.SuiteNames())
+	}
+
+	// Invert the Poisson arrival math: span scales as 1/Load, so the load
+	// that stretches the flow budget across the horizon is span(load=1)
+	// divided by the horizon. The scenario's fabric defaults (40 Gbps,
+	// 1000 B MTU, heavy-tailed sizes) are fixed here so the computation
+	// matches what Run generates.
+	pc := workload.PoissonConfig{
+		Hosts:         t.Hosts(),
+		Load:          1,
+		RatePsPerByte: int64(fabric.Gbps(40)),
+		MTU:           1000,
+		HeaderBytes:   packet.DataHeader,
+		NumFlows:      cfg.Flows,
+		Dist:          workload.NewHeavyTailed(),
+	}
+	load := float64(pc.ExpectedSpan()) / float64(cfg.Horizon)
+	if load > 0.9 {
+		return rep, fmt.Errorf("exp: endurance horizon %v needs load %.2f > 0.9; raise Horizon or lower Flows", cfg.Horizon, load)
+	}
+
+	// Chaos cycles tile the horizon, truncated to the 2 µs lookahead grid
+	// so transitions land on safe-window boundaries; the first cycle
+	// starts one grid step in.
+	lookahead := 2 * sim.Microsecond
+	cycle := cfg.Horizon / sim.Duration(cfg.Cycles) / lookahead * lookahead
+	if cycle < 24*lookahead {
+		return rep, fmt.Errorf("exp: endurance cycle %v too short for the suite's subdivisions; raise Horizon or lower Cycles", cycle)
+	}
+
+	w := NewWorker()
+	for seg := 0; seg < cfg.Segments; seg++ {
+		segSeed := sim.DeriveSeed(cfg.Seed, "endurance/segment", seg)
+		spec := suite.Build(t, sim.Time(lookahead), cycle, cfg.Cycles, segSeed).MustCompile(t)
+		s := Scenario{
+			Name:      fmt.Sprintf("endurance %s seg=%d", cfg.Suite, seg),
+			Arity:     cfg.Arity,
+			NumFlows:  cfg.Flows,
+			Load:      load,
+			Seed:      segSeed,
+			Shards:    cfg.Shards,
+			Transport: cfg.Transport,
+			PFC:       cfg.PFC,
+			Faults:    spec,
+			// Pin the transport config across suites and segment counts,
+			// like the fault sweeps do.
+			RoCETimeouts: true,
+		}
+		r := w.Run(s)
+		if err := checkSoakInvariants(r); err != nil {
+			return rep, fmt.Errorf("segment %d: %w", seg, err)
+		}
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rep.Segments = append(rep.Segments, EnduranceSegment{Result: r, HeapLive: ms.HeapAlloc})
+		rep.SimTime += sim.Duration(r.SimTime)
+		rep.Rebuilds = w.Rebuilds()
+		if cfg.Log != nil {
+			cfg.Log(fmt.Sprintf("segment %d/%d: simtime=%.2fs events=%d flows=%d incomplete=%d faultdrops=%d heap=%.1fMB",
+				seg+1, cfg.Segments, sim.Duration(r.SimTime).Seconds(), r.Events,
+				r.Summary.Flows, r.Summary.Incomplete, r.Census.FaultDrops,
+				float64(ms.HeapAlloc)/1e6))
+		}
+	}
+	return rep, nil
+}
+
+// checkSoakInvariants verifies one segment's packet-conservation census
+// and pool accounting — the equations internal/sim/invariant_test.go
+// asserts across presets, here enforced mid-soak.
+func checkSoakInvariants(r Result) error {
+	c := r.Census
+	if c.Injected == 0 {
+		return fmt.Errorf("%s: no packets injected — segment ran nothing", r.Name)
+	}
+	if want := c.Exits() + uint64(r.InFlight); c.Injected != want {
+		return fmt.Errorf("%s: conservation violated: injected %d != delivered %d + overflow %d + inject %d + fault %d + corrupted %d + in-flight %d",
+			r.Name, c.Injected, c.Delivered, c.OverflowDrops, c.InjectDrops, c.FaultDrops, c.Corrupted, r.InFlight)
+	}
+	if r.PoolLive != r.InFlight+r.CtrlBacklog {
+		return fmt.Errorf("%s: pool accounting violated: %d live packets != %d in-flight + %d ctrl backlog",
+			r.Name, r.PoolLive, r.InFlight, r.CtrlBacklog)
+	}
+	return nil
+}

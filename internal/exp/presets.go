@@ -379,6 +379,57 @@ func FigureFlap(sc Scale) Experiment {
 	return e
 }
 
+// chaosSeed fixes the chaos-suite link sampling across the FigureChaos
+// pair so both transports see the same failure sequence.
+const chaosSeed = 3141
+
+// FigureChaos runs a named chaos suite — the rolling drain/flap/brownout
+// rotation — on the paper's default fat-tree, IRN (no PFC) against
+// RoCE+PFC. It is the sequenced-failure complement to figloss/figflap's
+// static knobs: pods drain, sampled fabric links flap, core uplinks brown
+// out with loss bursts, with recovery gaps between cycles.
+//
+// The timing is chosen to pin the sharded fault machinery's hardest
+// cases: the cycle length is a multiple of the 2 µs link propagation (the
+// conservative lookahead), so with the suite's 1/8, 1/3, 1/2 and 2/3
+// cycle subdivisions every transition lands exactly on a safe-window
+// boundary; and the drain/brownout phases target agg-core uplinks — the
+// links a pod-aware partitioner cuts — so transitions, flap-killed
+// packets and loss bursts all hit boundary linkChans. The preset joins
+// TestShardDeterminismAcrossPresets like every fig*, which asserts all of
+// it bit-identical across shard counts 1/2/4/8.
+func FigureChaos(sc Scale) Experiment {
+	// Chaos-suite link samples are compiled against this topology, so the
+	// scenarios pin Arity explicitly, like figflap.
+	const chaosArity = 6
+	t := topo.NewFatTree(chaosArity)
+	suite, ok := fault.SuiteByName("rolling")
+	if !ok {
+		panic("exp: chaos suite \"rolling\" missing")
+	}
+	// 48 µs cycles starting at 100 µs: every subdivision the suite uses
+	// (cycle/8 = 6 µs, cycle/3 = 16 µs, cycle/2 = 24 µs, 2·cycle/3 =
+	// 32 µs) is a multiple of the 2 µs lookahead.
+	spec := suite.Build(t, sim.Time(100*sim.Microsecond), 48*sim.Microsecond, 6, chaosSeed).MustCompile(t)
+	mk := func(name string, mut func(*Scenario)) Scenario {
+		return named(Scenario{
+			Arity:    chaosArity,
+			NumFlows: sc.Flows,
+			Faults:   spec,
+			// Identical transport config across the pair (see FigureFlap).
+			RoCETimeouts: true,
+		}, name, mut)
+	}
+	return Experiment{
+		ID:          "figchaos",
+		Description: "Chaos suite \"rolling\" (pod drains, flap storms, brownouts) — IRN vs RoCE+PFC",
+		Scenarios: []Scenario{
+			mk("RoCE+PFC chaos", func(s *Scenario) { s.Transport = TransportRoCE; s.PFC = true }),
+			mk("IRN chaos", func(s *Scenario) { s.Transport = TransportIRN }),
+		},
+	}
+}
+
 // IncastCrossTraffic is the §4.4.3 variant: M=30 incast over a 50%-load
 // background workload.
 func IncastCrossTraffic(sc Scale) Experiment {
@@ -648,7 +699,7 @@ func All(sc Scale) []Experiment {
 		Figure1(sc), Figure2(sc), Figure3(sc), Figure4(sc), Figure5(sc),
 		Figure6(sc), Figure7(sc), Figure8(sc), Figure9(sc), Figure10(sc),
 		Figure11(sc), Figure12(sc), FigureLoss(sc), FigureFlap(sc),
-		FigureScale(sc), FigureDC(sc),
+		FigureChaos(sc), FigureScale(sc), FigureDC(sc),
 		IncastCrossTraffic(sc), WindowCC(sc),
 		TableA3(sc), TableA4(sc), TableA5(sc), TableA6(sc), TableA7(sc),
 		TableA8(sc), TableA9(sc), Ablations(sc), Reordering(sc),

@@ -72,8 +72,8 @@ func maxShards(e Experiment) int {
 	m := 1
 	for i := range e.Scenarios {
 		s := e.Scenarios[i].normalize()
-		if n := s.effShards(); n > m {
-			m = n
+		if s.Shards > m {
+			m = s.Shards
 		}
 	}
 	return m

@@ -121,8 +121,9 @@ type Scenario struct {
 	// link propagation delay as the conservative lookahead. Results are
 	// bit-identical for every value — including 1 and 0 (serial) — by the
 	// (time, rank) event-ordering contract; shards only buy wall-clock
-	// time on multi-core machines. Fault-injection scenarios force a
-	// single shard (link-state transitions would race across a boundary).
+	// time on multi-core machines. Fault-injection scenarios shard like
+	// any other: transitions fire on the shard owning each directed link
+	// and boundary links resolve faults on the consumer side.
 	Shards int
 
 	// IRN knobs (§3, §4.3 ablations, §6.3 overheads).
@@ -215,18 +216,6 @@ func (s Scenario) normalize() Scenario {
 	return s
 }
 
-// effShards is the shard count a run actually uses: the requested count,
-// collapsed to one when the fault model is active (fault state on a
-// boundary link would be written by one shard and read by the other).
-// The arbitration is deliberately silent — a fault sweep with -shards
-// simply runs serial — and documented on the Shards field.
-func (s *Scenario) effShards() int {
-	if s.Shards <= 1 || s.Faults.Enabled() {
-		return 1
-	}
-	return s.Shards
-}
-
 // Result is the outcome of one scenario run.
 type Result struct {
 	Name     string
@@ -257,6 +246,12 @@ type Result struct {
 	Events uint64
 	// SimTime is the simulated time at which the run ended.
 	SimTime sim.Time
+	// ShardsUsed is the number of shard engines the run actually spanned
+	// (the partitioner may use fewer than requested on small topologies).
+	// A wall-clock fact like MetricsBytes, zeroed by the shard-determinism
+	// tests; the regression test for the former faults-force-serial
+	// downgrade asserts on it.
+	ShardsUsed int
 	// FCTSketch is the merged FCT histogram of all completed flows —
 	// exact integer bucket counts, so it is bit-identical for every shard
 	// count and persists losslessly through the store (schema v2).
@@ -313,13 +308,19 @@ func (w tcpStats) timeouts() uint64    { return w.s.Stats.Timeouts }
 // to fresh construction — the golden-fixture and serial≡parallel tests
 // hold across the reuse path.
 type Worker struct {
-	engs  []*sim.Engine // engs[:shards] drive a run; grown on demand
-	net   *fabric.Network
-	top   topo.Topology
-	key   fabricKey
-	used  int // shard engines the cached fabric spans
-	built bool
+	engs     []*sim.Engine // engs[:shards] drive a run; grown on demand
+	net      *fabric.Network
+	top      topo.Topology
+	key      fabricKey
+	used     int // shard engines the cached fabric spans
+	built    bool
+	rebuilds int // fabrics constructed over the worker's lifetime
 }
+
+// Rebuilds reports how many times this worker constructed a fabric from
+// scratch. The endurance soak asserts it stays at 1 across segments —
+// proof the zero-rebuild reuse path carries the whole run.
+func (w *Worker) Rebuilds() int { return w.rebuilds }
 
 // NewWorker returns a Worker with a fresh engine and no cached fabric.
 func NewWorker() *Worker { return &Worker{engs: []*sim.Engine{sim.NewEngine()}} }
@@ -431,7 +432,7 @@ func (w *Worker) Run(s Scenario) Result {
 	// the new seed and fault model when the structure matches, rebuild it
 	// otherwise. The requested shard count is part of the structure: a
 	// different partitioning is a different port/channel wiring.
-	shards := s.effShards()
+	shards := s.Shards
 	key := keyOf(s.Arity, shards, cfg)
 	if !w.built || w.key != key {
 		w.top = topo.NewFatTree(s.Arity)
@@ -460,6 +461,7 @@ func (w *Worker) Run(s Scenario) Result {
 		cfg.Faults = faults
 		net = fabric.NewPartitioned(engs, assign, w.top, cfg)
 		w.net, w.key, w.used, w.built = net, key, used, true
+		w.rebuilds++
 	}
 	engines := w.engs[:w.used]
 	top := w.top
@@ -564,6 +566,7 @@ func (w *Worker) Run(s Scenario) Result {
 		InFlight:    net.InFlightPackets(),
 		PoolLive:    net.PoolLive(),
 		CtrlBacklog: net.CtrlBacklog(),
+		ShardsUsed:  net.Shards(),
 	}
 	for _, e := range engines {
 		res.Events += e.Executed()

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"github.com/irnsim/irn/internal/fault"
 )
 
 // shardMatrix is the determinism matrix of the sharded engine: every
@@ -18,22 +20,27 @@ func shardScale() Scale {
 	return Scale{Flows: 40, IncastBytes: 300_000, IncastReps: 1}
 }
 
-// stripShards erases the one field allowed to differ between a sharded
-// and a serial Result: the knob itself.
+// stripShards erases the fields allowed to differ between a sharded and
+// a serial Result: the knob itself and its wall-clock reflections.
 func stripShards(r Result) Result {
 	r.Scenario.Shards = 0
-	// Collector footprint is O(shards) by design — the one Result field
-	// that legitimately varies with the partitioning.
+	// Collector footprint is O(shards) by design, and ShardsUsed reports
+	// the partitioning itself — the Result fields that legitimately vary
+	// with the shard count.
 	r.MetricsBytes = 0
+	r.ShardsUsed = 0
 	return r
 }
 
 // TestShardDeterminismAcrossPresets pins the tentpole contract: for every
 // fig* preset, running each scenario at every shard count produces
 // Results — metrics, event counts, census, pool accounting, everything —
-// bit-identical to the serial run. Fault presets (figloss, figflap)
-// force a single shard by the documented arbitration; they run through
-// the same assertion to pin that the knob is a no-op there too.
+// bit-identical to the serial run. Fault presets (figloss, figflap,
+// figchaos) shard like any other since the per-owner fault-event lift:
+// transitions fire on the shard owning each directed link and boundary
+// (agg-core) links resolve arrival faults on the consumer shard, so the
+// same assertion covers flap/degrade/loss-burst transitions landing on
+// cut links and on safe-window boundaries.
 //
 // CI runs this under -race as well: the per-shard ownership story
 // (disjoint launcher slots, partitioned stats, barrier-ordered channel
@@ -76,6 +83,10 @@ func TestShardWorkerReuse(t *testing.T) {
 		{Name: "s4", NumFlows: 100, Seed: 11, Shards: 4},  // shard count changes the key
 		{Name: "s1", NumFlows: 100, Seed: 11},             // back to serial
 		{Name: "pfc2", NumFlows: 100, Seed: 7, Shards: 2, PFC: true, Transport: TransportRoCE},
+		// Faults don't enter the fabric key: a faulted run must reuse the
+		// fault-free fabric above (reset re-applies the model) and shard.
+		{Name: "fault2", NumFlows: 100, Seed: 7, Shards: 2, PFC: true, Transport: TransportRoCE,
+			Faults: fault.Spec{LossRate: 0.001}},
 	}
 	w := NewWorker()
 	for i, s := range seq {

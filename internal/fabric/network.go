@@ -67,11 +67,12 @@ func New(eng *sim.Engine, t topo.Topology, cfg Config) *Network {
 // channels with the link's propagation delay as lookahead, drained by
 // Drain at the window barriers of sim.RunWindows.
 //
-// The fault model and the LossInject hook require the whole fabric on one
-// engine: both mutate link state that the two ends of a boundary link
-// would race on. Callers gate sharding off for fault runs (the experiment
-// layer does) — a partitioned fabric with faults panics here rather than
-// corrupting results.
+// The fault model is shard-safe: each direction's scheduled transitions
+// fire on the shard owning the transmitting port, and boundary links
+// resolve arrival-side faults on the consumer shard from the static
+// schedule (see linkChan). The LossInject test hook is not — it mutates
+// arbitrary link state from outside the engines — so it still requires a
+// single-shard fabric.
 func NewPartitioned(engs []*sim.Engine, assign []int, t topo.Topology, cfg Config) *Network {
 	if cfg.MTU <= 0 {
 		panic("fabric: config MTU must be positive")
@@ -79,8 +80,8 @@ func NewPartitioned(engs []*sim.Engine, assign []int, t topo.Topology, cfg Confi
 	if len(engs) == 0 {
 		panic("fabric: need at least one engine")
 	}
-	if len(engs) > 1 && (cfg.Faults != nil || cfg.LossInject != nil) {
-		panic("fabric: fault injection requires a single-shard fabric")
+	if len(engs) > 1 && cfg.LossInject != nil {
+		panic("fabric: the LossInject hook requires a single-shard fabric")
 	}
 	nodes := t.Nodes()
 	if assign == nil {
@@ -134,16 +135,20 @@ func NewPartitioned(engs []*sim.Engine, assign []int, t topo.Topology, cfg Confi
 }
 
 // scheduleFaults queues the fault model's link transitions (flaps,
-// degradations) as typed events. They ride the environment clock (rank ID
-// 0, below every node), so at equal timestamps a transition applies
-// before any packet event — deterministically.
+// degradations, loss bursts) as typed events on the engine owning each
+// directed link's transmitting port — the shard whose state the
+// transition mutates. They ride the environment clock (rank ID 0, below
+// every node), so at equal timestamps a transition applies before any
+// packet event — deterministically; the ranks are drawn here, serially in
+// a fixed (direction, schedule-index) order, so they are identical for
+// every shard count.
 func (net *Network) scheduleFaults(m *fault.Model) {
 	for d, fl := range m.Dirs() {
 		if fl == nil {
 			continue
 		}
 		for ci, ch := range fl.Sched {
-			net.Eng.ScheduleEventFrom(&net.envClk, ch.At, net, netFault, uint64(d)<<32|uint64(ci))
+			net.ports[d].eng.ScheduleEventFrom(&net.envClk, ch.At, net, netFault, uint64(d)<<32|uint64(ci))
 		}
 	}
 }
@@ -167,6 +172,8 @@ func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 			from: from,
 			eng:  consumer.eng,
 			clk:  clk,
+			part: consumer,
+			flt:  flt,
 		}
 		consumer.inbox = append(consumer.inbox, xchan)
 		net.chans = append(net.chans, xchan)
@@ -174,6 +181,10 @@ func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 		deliver = func(pkt *packet.Packet) { dst.receive(pkt, from) }
 	}
 
+	baseLoss := 0.0
+	if flt != nil {
+		baseLoss = flt.Loss
+	}
 	switch n := net.nodes[from].(type) {
 	case *NIC:
 		n.egress = outPort{
@@ -182,6 +193,7 @@ func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 			part:    owner,
 			rate:    net.Cfg.Rate,
 			curRate: net.Cfg.Rate,
+			curLoss: baseLoss,
 			prop:    net.Cfg.Prop,
 			flt:     flt,
 			origin:  true,
@@ -199,6 +211,7 @@ func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 			part:    owner,
 			rate:    net.Cfg.Rate,
 			curRate: net.Cfg.Rate,
+			curLoss: baseLoss,
 			prop:    net.Cfg.Prop,
 			flt:     flt,
 			xchan:   xchan,
@@ -226,9 +239,6 @@ func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 // reconstructing topology, routing tables, VOQ matrices and port arrays
 // per trial.
 func (net *Network) Reset(seed uint64, faults *fault.Model) {
-	if len(net.parts) > 1 && faults != nil {
-		panic("fabric: fault injection requires a single-shard fabric")
-	}
 	net.Cfg.Seed = seed
 	net.Cfg.Faults = faults
 	for i := range net.clks {
@@ -247,6 +257,14 @@ func (net *Network) Reset(seed uint64, faults *fault.Model) {
 	for i, l := 0, len(net.ports)/2; i < l; i++ {
 		net.ports[2*i].flt = faults.Dir(i, false)
 		net.ports[2*i+1].flt = faults.Dir(i, true)
+		// Boundary channels resolve consumer-side faults from the same
+		// per-direction state.
+		if x := net.ports[2*i].xchan; x != nil {
+			x.flt = net.ports[2*i].flt
+		}
+		if x := net.ports[2*i+1].xchan; x != nil {
+			x.flt = net.ports[2*i+1].flt
+		}
 	}
 	for _, nic := range net.nics {
 		if nic != nil {

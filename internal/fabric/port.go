@@ -46,12 +46,13 @@ type outPort struct {
 	// while a fault.ChangeRate degradation phase is active.
 	curRate Rate
 
+	// curLoss is the effective random loss rate: the fault link's base
+	// rate normally, moved by fault.ChangeLoss while a loss burst is
+	// active. Zero when flt is nil.
+	curLoss float64
+
 	// flt is this direction's fault state, nil on healthy links.
 	flt *fault.Link
-
-	// origin marks a NIC egress port: packets transmitted here enter the
-	// fabric and are counted in Census.Injected.
-	origin bool
 
 	// source supplies the next packet to transmit, or nil if none is
 	// ready. Called only when the port is idle and unpaused.
@@ -67,6 +68,12 @@ type outPort struct {
 	// inflight holds packets between transmission start and arrival at
 	// the peer: the tail is serializing, earlier entries are propagating.
 	inflight pktRing
+
+	// origin marks a NIC egress port: packets transmitted here enter the
+	// fabric and are counted in Census.Injected. Packed with the flag
+	// bytes below so the struct stays within the same cache-line budget
+	// it had before curLoss was added.
+	origin bool
 
 	busy   bool
 	paused bool // PFC X-OFF received from downstream
@@ -103,7 +110,8 @@ func (o *outPort) HandleEvent(kind uint8, _ uint64) {
 			// packet to the cross-shard channel due one propagation
 			// delay out — the same instant, same rank draw, as the
 			// portDeliver event an interior port would schedule here.
-			// (Fault resolution is moot: fault models force one shard.)
+			// Fault resolution happens on the consumer side at arrival
+			// (linkChan.HandleEvent), mirroring portDeliver.
 			o.xchan.send(o.eng.Now().Add(o.prop), o.inflight.pop())
 		} else {
 			// Arrival at the peer is one propagation delay after the
@@ -121,7 +129,7 @@ func (o *outPort) HandleEvent(kind uint8, _ uint64) {
 			return
 		}
 		if o.flt != nil {
-			if o.flt.DropLoss() {
+			if o.flt.Drop(o.curLoss) {
 				o.die(pkt, &o.part.stats.FaultDrops, &o.part.census.FaultDrops)
 				return
 			}
@@ -169,15 +177,24 @@ func (o *outPort) applyChange(ch fault.Change) {
 			// rate.
 			o.curRate = Rate(float64(o.rate)/ch.Factor + 0.5)
 		}
+	case fault.ChangeLoss:
+		// A loss burst begins or ends; the restoring entry carries the
+		// base rate, so no special case is needed here.
+		o.curLoss = ch.Factor
 	}
 }
 
 // reset returns the port to its just-wired state for a new run: idle,
-// unpaused, up, at the configured rate, with the in-flight window empty.
-// The fault-link pointer is reassigned separately by Network.Reset, which
-// compiles a fresh fault model per trial.
+// unpaused, up, at the configured rate and base loss rate, with the
+// in-flight window empty. The fault-link pointer is reassigned by
+// Network.Reset before the per-node resets run, so reading flt here sees
+// the fresh model.
 func (o *outPort) reset() {
 	o.curRate = o.rate
+	o.curLoss = 0
+	if o.flt != nil {
+		o.curLoss = o.flt.Loss
+	}
 	o.inflight.reset()
 	o.busy, o.paused, o.down = false, false, false
 }

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"github.com/irnsim/irn/internal/fault"
 	"github.com/irnsim/irn/internal/packet"
 	"github.com/irnsim/irn/internal/sim"
 )
@@ -36,12 +37,28 @@ type linkChan struct {
 	eng  *sim.Engine   // consumer shard's engine
 	clk  *sim.Clock    // producing node's clock
 
+	// part is the consumer partition: boundary fault deaths count in its
+	// stats/census and release into its pool, the same side an interior
+	// link's portDeliver would use after the handoff.
+	part *partition
+	// flt is this direction's fault state, nil on healthy links. The
+	// consumer resolves faults from the *static* schedule (fault.StateAt)
+	// rather than the producer port's event-mutated down/curLoss fields,
+	// which live on the other shard. An arrival at exactly a transition's
+	// timestamp sees the post-transition state either way: the environment
+	// clock's rank (id 0) orders fault events before any same-instant
+	// packet event, and StateAt applies entries with At <= t. The RNG
+	// draws are consumer-exclusive and happen in FIFO arrival order — the
+	// per-link serial order — so the stream stays bit-identical.
+	flt *fault.Link
+
 	inbox []chanEntry // produced this window, not yet drained
 	fifo  []chanEntry // drained, awaiting their engine events
 	head  int
 
 	sent      int // data packets pushed (producer-owned)
 	delivered int // data packets handed to dst (consumer-owned)
+	killed    int // data packets dead to faults on arrival (consumer-owned)
 }
 
 // chanEntry is one cross-shard occurrence.
@@ -91,15 +108,43 @@ func (c *linkChan) HandleEvent(uint8, uint64) {
 		c.dst.pfcFrame(c.from, e.pause)
 		return
 	}
+	// Fault resolution at the receiving end, mirroring portDeliver: a
+	// downed link kills the packets in flight when it failed, then the
+	// in-flight loss draw, then the CRC check.
+	if c.flt != nil {
+		down, loss := c.flt.StateAt(c.eng.Now())
+		if down {
+			c.die(e.pkt, &c.part.stats.FaultDrops, &c.part.census.FaultDrops)
+			return
+		}
+		if c.flt.Drop(loss) {
+			c.die(e.pkt, &c.part.stats.FaultDrops, &c.part.census.FaultDrops)
+			return
+		}
+		if c.flt.DropCorrupt() {
+			c.die(e.pkt, &c.part.stats.Corrupted, &c.part.census.Corrupted)
+			return
+		}
+	}
 	c.delivered++
 	c.dst.receive(e.pkt, c.from)
 }
 
+// die is the boundary-link fault death site: stat + census stay paired
+// and the packet releases into the consumer pool, exactly like
+// outPort.die.
+func (c *linkChan) die(pkt *packet.Packet, stat, census *uint64) {
+	*stat++
+	*census++
+	c.killed++
+	c.part.pool.Release(pkt)
+}
+
 // resident counts the data packets inside the channel — pushed but not
-// yet handed to the receiving node. They are in flight for conservation
-// purposes, exactly like packets riding an interior port's in-flight
-// ring. Only meaningful at quiescence.
-func (c *linkChan) resident() int { return c.sent - c.delivered }
+// yet handed to the receiving node or killed by a fault on arrival. They
+// are in flight for conservation purposes, exactly like packets riding an
+// interior port's in-flight ring. Only meaningful at quiescence.
+func (c *linkChan) resident() int { return c.sent - c.delivered - c.killed }
 
 // reset empties the channel for a new run, dropping packet references but
 // keeping the arrays warm.
@@ -111,5 +156,5 @@ func (c *linkChan) reset() {
 		c.fifo[i] = chanEntry{}
 	}
 	c.inbox, c.fifo, c.head = c.inbox[:0], c.fifo[:0], 0
-	c.sent, c.delivered = 0, 0
+	c.sent, c.delivered, c.killed = 0, 0, 0
 }

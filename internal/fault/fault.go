@@ -41,6 +41,20 @@ type Spec struct {
 	Flaps []Flap
 	// Degrades schedules reduced-bandwidth phases.
 	Degrades []Degrade
+	// Bursts schedules per-link loss-rate phases: the chaos-schedule DSL's
+	// "per-phase loss". During a burst the link's random loss rate is the
+	// burst's Rate; outside every burst it is the spec-wide LossRate.
+	Bursts []LossBurst
+}
+
+// LossBurst runs one link's random loss at Rate from From to To (zero To =
+// the rest of the run); the rate returns to the spec's base LossRate when
+// the burst ends. A Rate of 0 suppresses the base loss for the window.
+type LossBurst struct {
+	Link int
+	From sim.Time
+	To   sim.Time
+	Rate float64
 }
 
 // Flap takes one link down at DownAt and back up at UpAt (zero = the link
@@ -64,7 +78,7 @@ type Degrade struct {
 
 // Enabled reports whether the spec injects any fault at all.
 func (s *Spec) Enabled() bool {
-	return s.LossRate > 0 || s.CorruptRate > 0 || len(s.Flaps) > 0 || len(s.Degrades) > 0
+	return s.LossRate > 0 || s.CorruptRate > 0 || len(s.Flaps) > 0 || len(s.Degrades) > 0 || len(s.Bursts) > 0
 }
 
 // Validate checks rates, factors, link indexes and time ordering against
@@ -114,6 +128,25 @@ func (s *Spec) Validate(numLinks int) error {
 			}
 		}
 	}
+	for i, b := range s.Bursts {
+		if b.Link < 0 || b.Link >= numLinks {
+			return fmt.Errorf("fault: loss burst link %d outside [0,%d)", b.Link, numLinks)
+		}
+		if b.Rate < 0 || b.Rate > 1 {
+			return fmt.Errorf("fault: loss burst rate %v outside [0,1]", b.Rate)
+		}
+		if b.To != 0 && b.To <= b.From {
+			return fmt.Errorf("fault: loss burst on link %d ends at %d before starting at %d", b.Link, b.To, b.From)
+		}
+		// The effective loss rate is one scalar per direction, like the
+		// degrade factor.
+		for _, g := range s.Bursts[:i] {
+			if g.Link == b.Link && overlaps(b.From, b.To, g.From, g.To) {
+				return fmt.Errorf("fault: overlapping loss bursts on link %d ([%d,%d) and [%d,%d))",
+					b.Link, g.From, g.To, b.From, b.To)
+			}
+		}
+	}
 	return nil
 }
 
@@ -133,13 +166,14 @@ const (
 	ChangeDown ChangeKind = iota // link fails; in-flight packets die
 	ChangeUp                     // link restored
 	ChangeRate                   // bandwidth scaled to Factor (1 restores)
+	ChangeLoss                   // random loss rate set to Factor
 )
 
 // Change is one scheduled transition on a directed link.
 type Change struct {
 	At     sim.Time
 	Kind   ChangeKind
-	Factor float64 // ChangeRate only
+	Factor float64 // ChangeRate: bandwidth scale; ChangeLoss: loss rate
 }
 
 // Link is the compiled fault state of one directed link. The fabric's
@@ -155,16 +189,49 @@ type Link struct {
 	rng *sim.RNG
 }
 
-// DropLoss draws the in-flight loss decision for one packet. It consumes
-// randomness only when a loss rate is set.
+// DropLoss draws the in-flight loss decision for one packet at the link's
+// base loss rate. It consumes randomness only when a loss rate is set.
 func (l *Link) DropLoss() bool {
 	return l.Loss > 0 && l.rng.Float64() < l.Loss
+}
+
+// Drop draws one loss decision at an explicit rate — the caller tracks the
+// effective rate when ChangeLoss transitions move it off the base Loss. It
+// consumes randomness only when the rate is positive, matching DropLoss,
+// so phases with zero loss leave the RNG stream untouched.
+func (l *Link) Drop(rate float64) bool {
+	return rate > 0 && l.rng.Float64() < rate
 }
 
 // DropCorrupt draws the corruption decision for one packet. It consumes
 // randomness only when a corruption rate is set.
 func (l *Link) DropCorrupt() bool {
 	return l.Corrupt > 0 && l.rng.Float64() < l.Corrupt
+}
+
+// StateAt evaluates the link's scheduled transitions statically: the down
+// state and effective loss rate after every Sched entry with At <= t has
+// applied. Boundary (cross-shard) links resolve faults with this instead
+// of event-mutated port state — an arrival at exactly a transition's
+// timestamp sees the post-transition state, matching the event path where
+// the environment clock's rank orders fault transitions before any
+// same-instant packet event.
+func (l *Link) StateAt(t sim.Time) (down bool, loss float64) {
+	loss = l.Loss
+	for _, ch := range l.Sched {
+		if ch.At > t {
+			break
+		}
+		switch ch.Kind {
+		case ChangeDown:
+			down = true
+		case ChangeUp:
+			down = false
+		case ChangeLoss:
+			loss = ch.Factor
+		}
+	}
+	return down, loss
 }
 
 // Model is a Spec compiled against a concrete topology and seed: one Link
@@ -217,19 +284,29 @@ func New(spec Spec, numLinks int, seed uint64) (*Model, error) {
 			}
 		}
 	}
+	for _, b := range spec.Bursts {
+		for _, d := range []int{2 * b.Link, 2*b.Link + 1} {
+			l := dir(d)
+			l.Sched = append(l.Sched, Change{At: b.From, Kind: ChangeLoss, Factor: b.Rate})
+			if b.To != 0 {
+				l.Sched = append(l.Sched, Change{At: b.To, Kind: ChangeLoss, Factor: spec.LossRate})
+			}
+		}
+	}
 	for _, l := range m.dirs {
 		if l != nil && len(l.Sched) > 1 {
 			// Time order, and at a shared instant restoring transitions
-			// (Up, rate-restore) before failing ones (Down, degrade):
-			// touching windows then compose correctly — the outgoing
-			// window closes before the incoming one opens — regardless of
-			// the order the spec listed them in.
+			// (Up, rate-restore, loss-restore) before failing ones (Down,
+			// degrade, burst): touching windows then compose correctly —
+			// the outgoing window closes before the incoming one opens —
+			// regardless of the order the spec listed them in.
+			base := spec.LossRate
 			sort.SliceStable(l.Sched, func(i, j int) bool {
 				a, b := l.Sched[i], l.Sched[j]
 				if a.At != b.At {
 					return a.At < b.At
 				}
-				return changeRank(a) < changeRank(b)
+				return changeRank(a, base) < changeRank(b, base)
 			})
 		}
 	}
@@ -237,8 +314,9 @@ func New(spec Spec, numLinks int, seed uint64) (*Model, error) {
 }
 
 // changeRank orders transitions at equal timestamps: restorations first.
-func changeRank(c Change) int {
-	if c.Kind == ChangeUp || (c.Kind == ChangeRate && c.Factor == 1) {
+func changeRank(c Change, baseLoss float64) int {
+	if c.Kind == ChangeUp || (c.Kind == ChangeRate && c.Factor == 1) ||
+		(c.Kind == ChangeLoss && c.Factor == baseLoss) {
 		return 0
 	}
 	return 1

@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
+)
+
+// FuzzScheduleCompile drives the chaos-schedule compiler with arbitrary
+// phase sequences decoded from fuzz bytes and pins its safety contract:
+// Compile either returns an error or a Spec that passes Validate against
+// the topology it was compiled for — never an invalid spec, and never a
+// panic. The decoded schedules deliberately include the DSL's error
+// shapes (open phases in the middle, oversized blink down-times, absurd
+// rates, out-of-range explicit links), so both sides of the contract stay
+// exercised.
+func FuzzScheduleCompile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 1, 1})                           // one Down phase
+	f.Add([]byte{1, 20, 2, 3, 2, 8, 0, 0, 3, 5, 4, 200}) // blink, quiet, slow
+	f.Add([]byte{4, 0, 0, 255, 0, 10, 9, 9})             // loss then trailing junk
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree := topo.NewFatTree(4)
+		s := NewSchedule("fuzz")
+		// Decode: records of [kind, durByte, p0, p1]. kind%6 selects the
+		// step (or a quiet/open phase), durByte scales the phase length
+		// (zero = open-ended), p0/p1 parameterize the step.
+		for len(data) >= 4 {
+			kind, durB, p0, p1 := data[0], data[1], data[2], data[3]
+			data = data[4:]
+			dur := sim.Duration(durB) * sim.Microsecond
+			sel := selFromByte(p0)
+			switch kind % 6 {
+			case 0:
+				s.Phase("down", dur, Down(sel))
+			case 1:
+				s.Phase("blink", dur, Blink(sel, int(p0%5), sim.Duration(p1)*sim.Microsecond))
+			case 2:
+				s.Phase("slow", dur, Slow(sel, float64(p1)/128)) // can exceed 1
+			case 3:
+				s.Phase("loss", dur, Loss(sel, float64(p1)/128)) // can exceed 1
+			case 4:
+				s.Quiet("quiet", dur)
+			case 5:
+				s.Phase("multi", dur, Down(sel), Loss(selFromByte(p1), float64(p0)/512))
+			}
+		}
+		spec, err := s.Compile(tree)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(len(tree.Links())); verr != nil {
+			t.Fatalf("Compile returned an invalid spec (%v): %+v", verr, spec)
+		}
+		// A valid spec must also construct: New re-validates and builds the
+		// per-direction schedules, panicking on programming errors.
+		if _, nerr := New(spec, len(tree.Links()), 1); spec.Enabled() && nerr != nil {
+			t.Fatalf("valid spec rejected by New: %v", nerr)
+		}
+	})
+}
+
+// selFromByte maps a fuzz byte onto the selector constructors, including
+// out-of-range pods and explicit link indexes beyond the topology.
+func selFromByte(b byte) Selector {
+	pod := int(b>>4) - 2 // [-2, 13]: negative = all pods, high = missing pod
+	switch b % 7 {
+	case 0:
+		return Fabric()
+	case 1:
+		return HostLinks(pod)
+	case 2:
+		return AggLinks(pod)
+	case 3:
+		return Uplinks(pod)
+	case 4:
+		return PodLinks(pod)
+	case 5:
+		return LinkSet(int(b), int(b)*3) // may exceed the link count
+	default:
+		return Sample(Fabric(), int(b%9), uint64(b))
+	}
+}

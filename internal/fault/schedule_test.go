@@ -1,0 +1,289 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
+)
+
+const us = sim.Microsecond
+
+func TestSelectors(t *testing.T) {
+	tree := topo.NewFatTree(4)
+	links := tree.Links()
+	tab := nodeTable(tree)
+	kinds := func(i int) (topo.Kind, topo.Kind) {
+		return tab[links[i].A].Kind, tab[links[i].B].Kind
+	}
+
+	// k=4: 16 hosts, 8 edge, 8 agg, 4 core; per pod 2 edge × 2 agg = 4
+	// edge-agg links and 2 agg × 2 core = 4 agg-core links.
+	cases := []struct {
+		name string
+		sel  Selector
+		want int
+	}{
+		{"fabric", Fabric(), 32},
+		{"host-links-all", HostLinks(-1), 16},
+		{"host-links-pod0", HostLinks(0), 4},
+		{"agg-links-all", AggLinks(-1), 16},
+		{"agg-links-pod2", AggLinks(2), 4},
+		{"uplinks-all", Uplinks(-1), 16},
+		{"uplinks-pod1", Uplinks(1), 4},
+		{"pod-links", PodLinks(0), 8},
+		{"missing-pod", Uplinks(99), 0},
+	}
+	for _, c := range cases {
+		if got := len(c.sel(tree)); got != c.want {
+			t.Errorf("%s: got %d links, want %d", c.name, got, c.want)
+		}
+	}
+
+	for _, i := range Uplinks(1)(tree) {
+		a, b := kinds(i)
+		if !(a == topo.AggSwitch && b == topo.CoreSwitch || a == topo.CoreSwitch && b == topo.AggSwitch) {
+			t.Errorf("Uplinks picked link %d joining %v-%v", i, a, b)
+		}
+	}
+	for _, i := range NodeLinks(0)(tree) {
+		if int(links[i].A) != 0 && int(links[i].B) != 0 {
+			t.Errorf("NodeLinks(0) picked link %d not touching node 0", i)
+		}
+	}
+}
+
+func TestSampleDeterministicAndNested(t *testing.T) {
+	tree := topo.NewFatTree(4)
+	a := Sample(Fabric(), 5, 7)(tree)
+	b := Sample(Fabric(), 5, 7)(tree)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed samples differ: %v vs %v", a, b)
+	}
+	if len(a) != 5 {
+		t.Fatalf("sample size %d, want 5", len(a))
+	}
+	// Different seed, (almost surely) different set; same seed, bigger n:
+	// superset — the shuffle must not depend on n.
+	big := Sample(Fabric(), 9, 7)(tree)
+	set := map[int]bool{}
+	for _, l := range big {
+		set[l] = true
+	}
+	for _, l := range a {
+		if !set[l] {
+			t.Fatalf("sample n=5 picked link %d outside the n=9 sample; sweeps would not nest", l)
+		}
+	}
+	// Oversized n clamps to the population.
+	if got := len(Sample(Uplinks(0), 100, 1)(tree)); got != 4 {
+		t.Fatalf("oversized sample returned %d links, want all 4", got)
+	}
+}
+
+func TestScheduleCompileWindows(t *testing.T) {
+	tree := topo.NewFatTree(4)
+	s := NewSchedule("w").
+		At(sim.Time(10*us)).
+		Base(0.001, 0.0005).
+		Phase("cut", 20*us, Down(LinkSet(3))).
+		Phase("slow", 30*us, Slow(LinkSet(4), 0.25), Loss(LinkSet(5), 0.02)).
+		Quiet("calm", 10*us).
+		Phase("tail", 0, Down(LinkSet(6)))
+	spec, err := s.Compile(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.LossRate != 0.001 || spec.CorruptRate != 0.0005 {
+		t.Errorf("base rates not carried: %+v", spec)
+	}
+	wantFlaps := []Flap{
+		{Link: 3, DownAt: sim.Time(10 * us), UpAt: sim.Time(30 * us)},
+		{Link: 6, DownAt: sim.Time(70 * us), UpAt: 0}, // open-ended: down forever
+	}
+	if !reflect.DeepEqual(spec.Flaps, wantFlaps) {
+		t.Errorf("flaps = %+v, want %+v", spec.Flaps, wantFlaps)
+	}
+	wantDeg := []Degrade{{Link: 4, From: sim.Time(30 * us), To: sim.Time(60 * us), Factor: 0.25}}
+	if !reflect.DeepEqual(spec.Degrades, wantDeg) {
+		t.Errorf("degrades = %+v, want %+v", spec.Degrades, wantDeg)
+	}
+	wantBursts := []LossBurst{{Link: 5, From: sim.Time(30 * us), To: sim.Time(60 * us), Rate: 0.02}}
+	if !reflect.DeepEqual(spec.Bursts, wantBursts) {
+		t.Errorf("bursts = %+v, want %+v", spec.Bursts, wantBursts)
+	}
+	if got, want := s.Horizon(), sim.Time(70*us); got != want {
+		t.Errorf("horizon = %v, want %v", got, want)
+	}
+}
+
+func TestScheduleCompileBlinkSpacing(t *testing.T) {
+	tree := topo.NewFatTree(4)
+	spec, err := NewSchedule("b").
+		Phase("storm", 40*us, Blink(LinkSet(2), 4, 5*us)).
+		Compile(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Flap{
+		{Link: 2, DownAt: 0, UpAt: sim.Time(5 * us)},
+		{Link: 2, DownAt: sim.Time(10 * us), UpAt: sim.Time(15 * us)},
+		{Link: 2, DownAt: sim.Time(20 * us), UpAt: sim.Time(25 * us)},
+		{Link: 2, DownAt: sim.Time(30 * us), UpAt: sim.Time(35 * us)},
+	}
+	if !reflect.DeepEqual(spec.Flaps, want) {
+		t.Errorf("blink flaps = %+v, want %+v", spec.Flaps, want)
+	}
+}
+
+func TestScheduleCompileErrors(t *testing.T) {
+	tree := topo.NewFatTree(4)
+	cases := []struct {
+		name string
+		s    *Schedule
+	}{
+		{"open-not-last", NewSchedule("x").Phase("a", 0).Phase("b", 10*us)},
+		{"negative-duration", NewSchedule("x").Phase("a", -us)},
+		{"blink-open-phase", NewSchedule("x").Phase("a", 0, Blink(LinkSet(1), 2, us))},
+		{"blink-zero-times", NewSchedule("x").Phase("a", 10*us, Blink(LinkSet(1), 0, us))},
+		{"blink-down-too-long", NewSchedule("x").Phase("a", 10*us, Blink(LinkSet(1), 2, 6*us))},
+		{"blink-zero-down", NewSchedule("x").Phase("a", 10*us, Blink(LinkSet(1), 2, 0))},
+		{"nil-selector", NewSchedule("x").Phase("a", 10*us, Step{kind: stepDown})},
+		{"link-out-of-range", NewSchedule("x").Phase("a", 10*us, Down(LinkSet(10_000)))},
+		{"bad-loss-rate", NewSchedule("x").Phase("a", 10*us, Loss(LinkSet(1), 1.5))},
+		{"bad-slow-factor", NewSchedule("x").Phase("a", 10*us, Slow(LinkSet(1), 0))},
+		{"overlapping-same-link", NewSchedule("x").Phase("a", 10*us, Down(LinkSet(1)), Down(LinkSet(1)))},
+	}
+	for _, c := range cases {
+		if _, err := c.s.Compile(tree); err == nil {
+			t.Errorf("%s: Compile succeeded, want error", c.name)
+		}
+	}
+}
+
+// TestSuitesCompile: every built-in suite must compile to a valid spec on
+// small and mid-size trees across several cycle counts, and be a pure
+// function of its arguments.
+func TestSuitesCompile(t *testing.T) {
+	for _, k := range []int{4, 6} {
+		tree := topo.NewFatTree(k)
+		for _, s := range Suites() {
+			for _, cycles := range []int{1, 3, 7} {
+				sched := s.Build(tree, sim.Time(100*us), 48*us, cycles, 99)
+				spec, err := sched.Compile(tree)
+				if err != nil {
+					t.Errorf("suite %s on k=%d, %d cycles: %v", s.Name, k, cycles, err)
+					continue
+				}
+				if !spec.Enabled() {
+					t.Errorf("suite %s on k=%d compiled to an empty spec", s.Name, k)
+				}
+				again := s.Build(tree, sim.Time(100*us), 48*us, cycles, 99).MustCompile(tree)
+				if !reflect.DeepEqual(spec, again) {
+					t.Errorf("suite %s is not deterministic", s.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestSuiteLookup(t *testing.T) {
+	names := SuiteNames()
+	if len(names) != len(Suites()) {
+		t.Fatalf("%d names for %d suites", len(names), len(Suites()))
+	}
+	for _, n := range names {
+		s, ok := SuiteByName(n)
+		if !ok || s.Name != n {
+			t.Errorf("SuiteByName(%q) = %+v, %v", n, s, ok)
+		}
+	}
+	if _, ok := SuiteByName("bogus"); ok {
+		t.Error("SuiteByName accepted a bogus name")
+	}
+}
+
+func TestLinkStateAt(t *testing.T) {
+	tree := topo.NewFatTree(4)
+	spec := NewSchedule("sa").
+		Base(0.01, 0).
+		Phase("cut", 10*us, Down(LinkSet(0))).
+		Phase("lossy", 10*us, Loss(LinkSet(0), 0.5)).
+		Quiet("calm", 10*us).
+		MustCompile(tree)
+	m, err := New(spec, len(tree.Links()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := m.Dir(0, false)
+	cases := []struct {
+		at   sim.Duration
+		down bool
+		loss float64
+	}{
+		{0, true, 0.01}, // cut phase: down, base loss unchanged
+		{9 * us, true, 0.01},
+		{10 * us, false, 0.5}, // boundary: up + burst both applied at t
+		{15 * us, false, 0.5},
+		{20 * us, false, 0.01}, // burst restored to base
+		{25 * us, false, 0.01},
+	}
+	for _, c := range cases {
+		down, loss := l.StateAt(sim.Time(c.at))
+		if down != c.down || loss != c.loss {
+			t.Errorf("StateAt(%v) = (%v, %v), want (%v, %v)", c.at, down, loss, c.down, c.loss)
+		}
+	}
+}
+
+// TestChangeRankRestoresFirst pins the equal-timestamp ordering inside a
+// compiled schedule: at a phase boundary the restoring transitions (up,
+// rate back to 1, loss back to base) sort before the next phase's
+// failures, so back-to-back phases on one link compose instead of the new
+// failure being immediately overwritten.
+func TestChangeRankRestoresFirst(t *testing.T) {
+	base := 0.01
+	up := Change{Kind: ChangeUp}
+	down := Change{Kind: ChangeDown}
+	rateRestore := Change{Kind: ChangeRate, Factor: 1}
+	rateDegrade := Change{Kind: ChangeRate, Factor: 0.5}
+	lossRestore := Change{Kind: ChangeLoss, Factor: base}
+	lossBurst := Change{Kind: ChangeLoss, Factor: 0.3}
+	for _, c := range []Change{up, rateRestore, lossRestore} {
+		if changeRank(c, base) != 0 {
+			t.Errorf("restore %+v ranked as failure", c)
+		}
+	}
+	for _, c := range []Change{down, rateDegrade, lossBurst} {
+		if changeRank(c, base) != 1 {
+			t.Errorf("failure %+v ranked as restore", c)
+		}
+	}
+}
+
+// TestDropConsumesNoRandomnessAtZero mirrors the DropLoss contract for the
+// explicit-rate variant: a zero rate must not advance the RNG stream, so
+// runs without loss bursts keep bit-identical randomness.
+func TestDropConsumesNoRandomnessAtZero(t *testing.T) {
+	spec := Spec{LossRate: 0.5}
+	m, err := New(spec, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Dir(0, false)
+	var seqZero []bool
+	for i := 0; i < 32; i++ {
+		if a.Drop(0) {
+			t.Fatal("Drop(0) returned true")
+		}
+		seqZero = append(seqZero, a.DropLoss())
+	}
+	m2, _ := New(spec, 4, 7)
+	c := m2.Dir(0, false)
+	for i := 0; i < 32; i++ {
+		if got := c.DropLoss(); got != seqZero[i] {
+			t.Fatalf("draw %d: interleaved Drop(0) perturbed the RNG stream", i)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
+)
+
+// Suite is a named, parameterized chaos schedule: Build produces the
+// schedule for a concrete topology, start time, per-cycle duration, cycle
+// count, and seed. The seed only feeds deterministic link sampling
+// (Sample via sim.DeriveSeed), so a suite is a pure function of its
+// arguments — the same call builds the same schedule everywhere.
+type Suite struct {
+	Name  string
+	Desc  string
+	Build func(t topo.Topology, start sim.Time, cycle sim.Duration, cycles int, seed uint64) *Schedule
+}
+
+// suites is the built-in library, in presentation order.
+var suites = []Suite{
+	{
+		Name: "rolling-drain",
+		Desc: "each cycle drains one pod's core uplinks (down 2/3 of the cycle), rotating through pods, with recovery gaps",
+		Build: func(t topo.Topology, start sim.Time, cycle sim.Duration, cycles int, seed uint64) *Schedule {
+			s := NewSchedule("rolling-drain").At(start)
+			pods := numPods(t)
+			for c := 0; c < cycles; c++ {
+				pod := 0
+				if pods > 0 {
+					pod = c % pods
+				}
+				cs := sim.DeriveSeed(seed, "chaos/rolling-drain", c)
+				// Half the pod's uplinks: the pod stays reachable, so the
+				// drain measures rerouting, not a partition.
+				sel := Sample(Uplinks(pod), max(1, len(Uplinks(pod)(t))/2), cs)
+				s.Phase(fmt.Sprintf("drain-pod%d", pod), cycle*2/3, Down(sel))
+				s.Quiet(fmt.Sprintf("recover%d", c), cycle/3)
+			}
+			return s
+		},
+	},
+	{
+		Name: "flap-storm",
+		Desc: "each cycle flaps a fresh sample of fabric links 3x with short down times",
+		Build: func(t topo.Topology, start sim.Time, cycle sim.Duration, cycles int, seed uint64) *Schedule {
+			s := NewSchedule("flap-storm").At(start)
+			for c := 0; c < cycles; c++ {
+				cs := sim.DeriveSeed(seed, "chaos/flap-storm", c)
+				s.Phase(fmt.Sprintf("storm%d", c), cycle,
+					Blink(Sample(Fabric(), 3, cs), 3, cycle/8))
+			}
+			return s
+		},
+	},
+	{
+		Name: "brownout",
+		Desc: "each cycle halves all core-uplink bandwidth and raises loss on sampled agg links, then recovers",
+		Build: func(t topo.Topology, start sim.Time, cycle sim.Duration, cycles int, seed uint64) *Schedule {
+			s := NewSchedule("brownout").At(start)
+			for c := 0; c < cycles; c++ {
+				cs := sim.DeriveSeed(seed, "chaos/brownout", c)
+				s.Phase(fmt.Sprintf("brownout%d", c), cycle/2,
+					Slow(Uplinks(-1), 0.5),
+					Loss(Sample(AggLinks(-1), 4, cs), 0.001))
+				s.Quiet(fmt.Sprintf("recover%d", c), cycle-cycle/2)
+			}
+			return s
+		},
+	},
+	{
+		Name: "rolling",
+		Desc: "rotates drain, flap, and brownout cycles: the endurance soak's sustained mixed-failure regime",
+		Build: func(t topo.Topology, start sim.Time, cycle sim.Duration, cycles int, seed uint64) *Schedule {
+			s := NewSchedule("rolling").At(start)
+			pods := numPods(t)
+			for c := 0; c < cycles; c++ {
+				cs := sim.DeriveSeed(seed, "chaos/rolling", c)
+				switch c % 3 {
+				case 0:
+					pod := 0
+					if pods > 0 {
+						pod = (c / 3) % pods
+					}
+					sel := Sample(Uplinks(pod), max(1, len(Uplinks(pod)(t))/2), cs)
+					s.Phase(fmt.Sprintf("drain-pod%d", pod), cycle*2/3, Down(sel))
+					s.Quiet(fmt.Sprintf("recover%d", c), cycle/3)
+				case 1:
+					s.Phase(fmt.Sprintf("storm%d", c), cycle,
+						Blink(Sample(Fabric(), 3, cs), 3, cycle/8))
+				case 2:
+					s.Phase(fmt.Sprintf("brownout%d", c), cycle/2,
+						Slow(Uplinks(-1), 0.5),
+						Loss(Sample(AggLinks(-1), 4, cs), 0.001))
+					s.Quiet(fmt.Sprintf("recover%d", c), cycle-cycle/2)
+				}
+			}
+			return s
+		},
+	},
+}
+
+// Suites lists the built-in chaos suites in presentation order.
+func Suites() []Suite { return append([]Suite(nil), suites...) }
+
+// SuiteByName looks up a built-in suite.
+func SuiteByName(name string) (Suite, bool) {
+	for _, s := range suites {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Suite{}, false
+}
+
+// SuiteNames returns the sorted suite names, for CLI help and errors.
+func SuiteNames() []string {
+	names := make([]string, len(suites))
+	for i, s := range suites {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// numPods counts the pods of a topology (max pod number + 1); 0 when no
+// node carries a pod number.
+func numPods(t topo.Topology) int {
+	pods := 0
+	for _, n := range t.Nodes() {
+		if n.Pod+1 > pods {
+			pods = n.Pod + 1
+		}
+	}
+	return pods
+}
