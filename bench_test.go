@@ -185,6 +185,20 @@ func BenchmarkFigDC(b *testing.B) {
 	benchExperiment(b, exp.FigureDC(exp.BenchScale()), reportPair("roce_pfc", "irn"))
 }
 
+// BenchmarkFigDCShards is BenchmarkFigDC sharded across up to four
+// cores — the k=16 intra-run scaling sample. cmd/benchjson derives the
+// FigDC÷FigDCShards ns/op ratio as the recorded "speedup" metric and
+// the delta gate fails CI when it drops >10% against the previous
+// same-box baseline (on a box with fewer than 4 cores the ratio sits
+// near 1.0 and the gate still catches barrier-overhead creep).
+func BenchmarkFigDCShards(b *testing.B) {
+	e := exp.FigureDC(exp.BenchScale())
+	for i := range e.Scenarios {
+		e.Scenarios[i].Shards = 4
+	}
+	benchExperiment(b, e, reportPair("roce_pfc", "irn"))
+}
+
 func BenchmarkIncastCrossTraffic(b *testing.B) {
 	benchExperiment(b, exp.IncastCrossTraffic(exp.BenchScale()), func(b *testing.B, rs []exp.Result) {
 		if len(rs) >= 2 && rs[0].RCT > 0 {

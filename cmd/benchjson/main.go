@@ -5,7 +5,11 @@
 //
 // Standard benchmark columns become ns_per_op / bytes_per_op /
 // allocs_per_op; every custom unit reported via b.ReportMetric (slowdowns,
-// FCT ratios, Mpps) lands in the per-benchmark "metrics" map.
+// FCT ratios, Mpps) lands in the per-benchmark "metrics" map. One metric
+// is derived rather than parsed: for every benchmark pair named X and
+// XShards, the sharded row gets "speedup" = X ns/op ÷ XShards ns/op —
+// the intra-run parallel speedup of the conservative-parallel engine
+// (see attachSpeedups).
 //
 // With -delta OLD.json NEW.json it instead diffs two recorded runs,
 // printing per-benchmark ns/op, bytes/op, and allocs/op changes, and
@@ -48,6 +52,35 @@ type Record struct {
 // gomaxprocsSuffix strips the -N parallelism suffix go test appends to
 // benchmark names.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// speedupMetric is the derived metric name attachSpeedups writes.
+const speedupMetric = "speedup"
+
+// attachSpeedups derives the intra-run parallel speedup for every
+// benchmark pair named X / XShards: the serial run's ns/op divided by
+// the sharded run's, attached to the sharded row as the "speedup"
+// metric. It is recomputed (overwriting any prior value) so min-merged
+// records stay consistent with their merged ns/op columns. On a box
+// with fewer cores than shards the ratio hovers near 1.0 — the delta
+// gate below compares it against the same box's previous baseline, so
+// it measures parallel-efficiency drift, not absolute scaling.
+func attachSpeedups(rec *Record) {
+	byName := make(map[string]*Row, len(rec.Rows))
+	for i := range rec.Rows {
+		byName[rec.Rows[i].Name] = &rec.Rows[i]
+	}
+	for i := range rec.Rows {
+		row := &rec.Rows[i]
+		base, ok := byName[strings.TrimSuffix(row.Name, "Shards")]
+		if !strings.HasSuffix(row.Name, "Shards") || !ok || base.NsPerOp <= 0 || row.NsPerOp <= 0 {
+			continue
+		}
+		if row.Metrics == nil {
+			row.Metrics = map[string]float64{}
+		}
+		row.Metrics[speedupMetric] = base.NsPerOp / row.NsPerOp
+	}
+}
 
 func main() {
 	var (
@@ -101,6 +134,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	attachSpeedups(&rec)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rec); err != nil {
@@ -139,16 +173,16 @@ func diffRecords(oldPath, newPath string, maxRegress, maxMemRegress float64) int
 	}
 
 	pct := func(oldV, newV float64) float64 { return (newV/oldV - 1) * 100 }
-	fmt.Printf("%-26s %15s %15s %8s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ns Δ%", "B/op Δ%", "allocs Δ%")
+	fmt.Printf("%-26s %15s %15s %8s %8s %10s %9s\n", "benchmark", "old ns/op", "new ns/op", "ns Δ%", "B/op Δ%", "allocs Δ%", "speedup")
 	failed := false
 	for _, nr := range newRec.Rows {
 		or, ok := oldBy[nr.Name]
 		delete(oldBy, nr.Name)
 		if !ok {
-			fmt.Printf("%-26s %15s %15.0f %8s %8s %10s  (new)\n", nr.Name, "-", nr.NsPerOp, "-", "-", "-")
+			fmt.Printf("%-26s %15s %15.0f %8s %8s %10s %9s  (new)\n", nr.Name, "-", nr.NsPerOp, "-", "-", "-", "-")
 			continue
 		}
-		nsDelta, memDelta, allocDelta := "-", "-", "-"
+		nsDelta, memDelta, allocDelta, spCol := "-", "-", "-", "-"
 		regressed := false
 		if or.NsPerOp > 0 && nr.NsPerOp > 0 {
 			d := pct(or.NsPerOp, nr.NsPerOp)
@@ -163,19 +197,28 @@ func diffRecords(oldPath, newPath string, maxRegress, maxMemRegress float64) int
 		if or.AllocsPerOp > 0 && nr.AllocsPerOp > 0 {
 			allocDelta = fmt.Sprintf("%+.1f", pct(or.AllocsPerOp, nr.AllocsPerOp))
 		}
+		// Parallel efficiency gates like time: a sharded benchmark whose
+		// speedup over its serial sibling drops by more than maxRegress
+		// percent fails even if its absolute ns/op drifted under the bar
+		// (e.g. when the serial baseline got faster too).
+		if oldSp, newSp := or.Metrics[speedupMetric], nr.Metrics[speedupMetric]; oldSp > 0 && newSp > 0 {
+			d := pct(oldSp, newSp)
+			spCol = fmt.Sprintf("%.2fx%+.1f%%", newSp, d)
+			regressed = regressed || d < -maxRegress
+		}
 		mark := ""
 		if regressed {
 			mark = "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-26s %15.0f %15.0f %8s %8s %10s%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, nsDelta, memDelta, allocDelta, mark)
+		fmt.Printf("%-26s %15.0f %15.0f %8s %8s %10s %9s%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, nsDelta, memDelta, allocDelta, spCol, mark)
 	}
 	for name := range oldBy {
 		fmt.Printf("%-26s  (removed)\n", name)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: ns/op (>%.0f%%) or bytes/op (>%.0f%%) regression between %s and %s\n",
-			maxRegress, maxMemRegress, oldPath, newPath)
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op (>%.0f%%), bytes/op (>%.0f%%), or parallel-speedup (>%.0f%% drop) regression between %s and %s\n",
+			maxRegress, maxMemRegress, maxRegress, oldPath, newPath)
 		return 1
 	}
 	return 0
@@ -215,6 +258,7 @@ func mergeMin(paths []string) {
 			out.Rows = append(out.Rows, row)
 		}
 	}
+	attachSpeedups(&out)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

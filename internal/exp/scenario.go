@@ -117,8 +117,10 @@ type Scenario struct {
 	IncastBytes int
 
 	// Shards splits this single run across that many engines, one shard
-	// goroutine each, partitioned pod-wise along inter-pod links with the
-	// link propagation delay as the conservative lookahead. Results are
+	// goroutine each, partitioned pod-wise along inter-pod links under
+	// the conservative lookahead the fabric proves for the partitioning
+	// (link propagation plus minimum-frame serialization; bare
+	// propagation under PFC — see fabric.Network.Lookahead). Results are
 	// bit-identical for every value — including 1 and 0 (serial) — by the
 	// (time, rank) event-ordering contract; shards only buy wall-clock
 	// time on multi-core machines. Fault-injection scenarios shard like
@@ -167,6 +169,15 @@ type Scenario struct {
 	// test harness sets this; it is excluded from the store fingerprint
 	// like Shards, since it cannot change any streaming aggregate.
 	ExactMetrics bool
+
+	// BareLookahead forces the conservative windows back to the bare
+	// link-propagation lookahead instead of the widened propagation +
+	// minimum-frame-serialization bound the fabric computes. Results are
+	// bit-identical either way — the Done horizon pins the executed-event
+	// set independently of the window width — which the lookahead
+	// differential test asserts; like Shards and ExactMetrics it is
+	// excluded from the store fingerprint.
+	BareLookahead bool
 }
 
 // normalize fills defaults.
@@ -547,15 +558,22 @@ func (w *Worker) Run(s Scenario) Result {
 
 	// Conservative windowed execution, serial included: the run always
 	// advances through lookahead-bounded safe windows with completion
-	// checked at barriers, so the set of executed events — and with it
-	// every counter below — is identical for every shard count.
+	// checked at barriers. The Done horizon clamps the run to "last
+	// completion plus the canonical window slack", so the set of executed
+	// events — and with it every counter below — is identical for every
+	// shard count AND every lookahead width up to the slack.
+	lookahead := net.Lookahead()
+	if s.BareLookahead {
+		lookahead = s.Prop
+	}
 	deadline := lastArrival.Add(s.Grace)
 	sim.RunWindows(sim.WindowConfig{
 		Engines:   engines,
-		Lookahead: s.Prop,
+		Lookahead: lookahead,
 		Deadline:  deadline,
-		Drain:     net.Drain,
+		Drain:     net.DrainAll,
 		Done:      l.allDone,
+		Horizon:   l.horizon,
 	})
 
 	res := Result{
@@ -628,7 +646,8 @@ const (
 type launcherShard struct {
 	done       int      // flows whose destination lives on this shard
 	incastDone sim.Time // latest incast completion seen on this shard
-	_          [6]uint64
+	lastDone   sim.Time // latest completion of any flow on this shard
+	_          [5]uint64
 }
 
 // launcher wires each flow's transports at the flow's arrival time and
@@ -694,7 +713,28 @@ func (l *launcher) FlowDone(fl *transport.Flow, now sim.Time) {
 	if i < l.incastFlows && now > sh.incastDone {
 		sh.incastDone = now
 	}
+	if now > sh.lastDone {
+		sh.lastDone = now
+	}
 	sh.done++
+}
+
+// horizon is the sim.WindowConfig.Horizon hook: once every flow has
+// completed, the run is clamped to the last completion time plus the
+// canonical window slack — the latest instant any window containing that
+// completion could reach, for any shard count and any lookahead at or
+// below the slack. Clamping to a canonical instant (rather than stopping
+// at whatever barrier noticed completion) is what keeps Events, SimTime
+// and the trailing census identical across partitionings and lookahead
+// widths. Called at a barrier, so reading the shard slots is ordered.
+func (l *launcher) horizon() sim.Time {
+	var last sim.Time
+	for i := range l.shard {
+		if t := l.shard[i].lastDone; t > last {
+			last = t
+		}
+	}
+	return last.Add(l.net.WindowSlack())
 }
 
 // startSender attaches flow i's sender (and its congestion controller) to

@@ -68,6 +68,9 @@ func Fingerprint(s Scenario) string {
 	// reference state on the side, never changes a streaming aggregate.
 	n.Shards = 0
 	n.ExactMetrics = false
+	// BareLookahead narrows the safe windows without changing the
+	// executed-event set (the lookahead differential test pins it).
+	n.BareLookahead = false
 	data, err := json.Marshal(n)
 	if err != nil {
 		// Scenario is a plain struct; Marshal cannot fail on it.

@@ -42,8 +42,9 @@ func (c *Census) Exits() uint64 {
 // InFlightPackets counts the packets currently inside the fabric:
 // buffered in switch virtual output queues, riding a link's in-flight
 // window (including NIC egress links), or resident in a cross-shard
-// boundary channel between serialization end and hand-off to the
-// receiving node. With Census.Exits it closes the conservation equation
+// boundary channel between serialization start and hand-off to the
+// receiving node (a boundary packet is pushed at kick and never enters
+// the port's in-flight ring, so the two never double-count). With Census.Exits it closes the conservation equation
 // at any quiescent instant (between events serially; at a window barrier
 // sharded).
 func (net *Network) InFlightPackets() int {

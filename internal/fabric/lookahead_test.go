@@ -1,0 +1,108 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
+)
+
+// analyticLookahead recomputes the safe-window width from first
+// principles — the minimum over cut links of propagation plus the
+// serialization delay of the smallest frame that can cross — so the
+// tests below pin computeLookahead against an independent derivation
+// rather than against itself.
+func analyticLookahead(t topo.Topology, assign []int, cfg Config) (sim.Duration, bool) {
+	smallest := packet.ControlFrame
+	if packet.DataHeader+1 < smallest {
+		smallest = packet.DataHeader + 1
+	}
+	serMin := cfg.Rate.Serialize(smallest)
+	best, cut := sim.Duration(0), false
+	for _, l := range t.Links() {
+		if assign[l.A] == assign[l.B] {
+			continue
+		}
+		if cand := cfg.Prop + serMin; !cut || cand < best {
+			best, cut = cand, true
+		}
+	}
+	return best, cut
+}
+
+// TestLookaheadMatchesAnalyticMinimum: the lookahead NewPartitioned
+// fixes at construction must equal the analytic minimum over this
+// partitioning's cut links.
+func TestLookaheadMatchesAnalyticMinimum(t *testing.T) {
+	tree := topo.NewFatTree(4)
+	cfg := testConfig()
+	cfg.PFC = false
+	for _, shards := range []int{2, 4} {
+		assign, used := topo.PartitionNodes(tree, shards)
+		if used < 2 {
+			t.Fatalf("shards=%d: partitioner used %d shards", shards, used)
+		}
+		engs := make([]*sim.Engine, used)
+		for i := range engs {
+			engs[i] = sim.NewEngine()
+		}
+		net := NewPartitioned(engs, assign, tree, cfg)
+		want, cut := analyticLookahead(tree, assign, cfg)
+		if !cut {
+			t.Fatalf("shards=%d: no cut links in a multi-shard partitioning", shards)
+		}
+		if got := net.Lookahead(); got != want {
+			t.Errorf("shards=%d: Lookahead() = %d, want analytic minimum %d", shards, got, want)
+		}
+		if got := net.Lookahead(); got <= cfg.Prop {
+			t.Errorf("shards=%d: Lookahead() = %d not widened past bare propagation %d", shards, got, cfg.Prop)
+		}
+		smallest := packet.ControlFrame
+		if packet.DataHeader+1 < smallest {
+			smallest = packet.DataHeader + 1
+		}
+		if want := cfg.Prop + cfg.Rate.Serialize(smallest); net.WindowSlack() != want {
+			t.Errorf("shards=%d: WindowSlack() = %d, want prop+serMin %d", shards, net.WindowSlack(), want)
+		}
+	}
+}
+
+// TestLookaheadPFCFallsBackToProp: PFC pause frames are pushed at
+// generation with zero serialization delay, so a PFC-enabled fabric with
+// cut links cannot claim the serialization widening.
+func TestLookaheadPFCFallsBackToProp(t *testing.T) {
+	tree := topo.NewFatTree(4)
+	cfg := testConfig()
+	cfg.PFC = true
+	assign, used := topo.PartitionNodes(tree, 2)
+	engs := make([]*sim.Engine, used)
+	for i := range engs {
+		engs[i] = sim.NewEngine()
+	}
+	net := NewPartitioned(engs, assign, tree, cfg)
+	if got := net.Lookahead(); got != cfg.Prop {
+		t.Errorf("PFC Lookahead() = %d, want bare propagation %d", got, cfg.Prop)
+	}
+}
+
+// TestLookaheadSingleShard: with no cut links the window width is
+// bounded only by the canonical slack, and the slack itself is
+// partitioning-independent.
+func TestLookaheadSingleShard(t *testing.T) {
+	tree := topo.NewFatTree(4)
+	cfg := testConfig()
+	net := New(sim.NewEngine(), tree, cfg)
+	if net.Lookahead() != net.WindowSlack() {
+		t.Errorf("single-shard Lookahead() = %d, want WindowSlack() %d", net.Lookahead(), net.WindowSlack())
+	}
+	assign, used := topo.PartitionNodes(tree, 4)
+	engs := make([]*sim.Engine, used)
+	for i := range engs {
+		engs[i] = sim.NewEngine()
+	}
+	sharded := NewPartitioned(engs, assign, tree, cfg)
+	if sharded.WindowSlack() != net.WindowSlack() {
+		t.Errorf("WindowSlack differs across partitionings: %d vs %d", sharded.WindowSlack(), net.WindowSlack())
+	}
+}

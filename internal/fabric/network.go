@@ -29,9 +29,17 @@ type partition struct {
 	census    Census
 	downPorts int
 
-	// inbox lists the boundary channels this partition consumes; drained
-	// at every window barrier.
+	// inbox lists the boundary channels this partition consumes; kept
+	// for reset bookkeeping and diagnostics.
 	inbox []*linkChan
+
+	// dirty lists the boundary channels this partition *produced into*
+	// during the current window and that are not yet drained. Appended by
+	// the producing shard (single-writer: a channel's transmitting port
+	// lives on exactly one shard), read and cleared by the coordinator at
+	// the barrier — so DrainAll visits only channels holding occurrences
+	// instead of scanning every boundary channel every barrier.
+	dirty []*linkChan
 }
 
 // Network instantiates a topology into a running fabric over one or more
@@ -53,6 +61,13 @@ type Network struct {
 	nics     []*NIC // indexed by host NodeID
 	switches []*Switch
 	ports    []*outPort // indexed by directed-link index (2*link, 2*link+1)
+
+	// lookahead and slack are fixed at construction (see the computation
+	// in NewPartitioned): the safe-window width this partitioning
+	// supports, and the canonical maximum width any partitioning of this
+	// config could support (used as the Done-horizon slack).
+	lookahead sim.Duration
+	slack     sim.Duration
 }
 
 // New builds a single-shard fabric: one NIC per host, one Switch per
@@ -64,8 +79,8 @@ func New(eng *sim.Engine, t topo.Topology, cfg Config) *Network {
 // NewPartitioned builds the fabric across one engine per shard. assign
 // maps every node to an engine index (nil assigns everything to engine
 // 0); links between nodes on different engines become cross-shard
-// channels with the link's propagation delay as lookahead, drained by
-// Drain at the window barriers of sim.RunWindows.
+// channels, drained by DrainAll at the window barriers of sim.RunWindows
+// under the lookahead this partitioning supports (see computeLookahead).
 //
 // The fault model is shard-safe: each direction's scheduled transitions
 // fire on the shard owning the transmitting port, and boundary links
@@ -130,9 +145,88 @@ func NewPartitioned(engs []*sim.Engine, assign []int, t topo.Topology, cfg Confi
 		sw.finalize()
 	}
 
+	net.computeLookahead()
 	net.scheduleFaults(cfg.Faults)
 	return net
 }
+
+// minWire is the smallest frame the fabric ever serializes: control
+// frames (ACK/NACK/CNP) are fixed-size, and the smallest data packet is a
+// one-byte payload behind the data header.
+func minWire() int {
+	w := packet.ControlFrame
+	if packet.DataHeader+1 < w {
+		w = packet.DataHeader + 1
+	}
+	return w
+}
+
+// computeLookahead fixes the safe-window width for this partitioning.
+//
+// Bare link propagation is always a sound lookahead: a cross-shard
+// occurrence produced at time g arrives at g+prop at the earliest. The
+// widened bound adds the serialization delay of the smallest frame that
+// can cross a cut link, and is sound because boundary ports push their
+// occurrence at serialization *start* (outPort.kick): a packet whose
+// serialization starts at k is due k + ser(pkt) + prop >= k + serMin +
+// prop, so with windows opening at T, every occurrence produced during
+// the window (k >= T) lands at or after T + serMin + prop — and
+// occurrences from serializations started before T were already pushed,
+// hence drained at the barrier. The minimum is taken over cut links
+// (links whose endpoints live on different shards); per-link rates would
+// make this a genuine minimum, with today's uniform config every cut
+// link contributes the same bound. Fault-model degradations only *slow*
+// serialization (fault.Degrade validates Factor in (0,1]), so the
+// base-rate bound stays a lower bound under any fault schedule — the
+// lookahead is seed- and fault-independent, which is why Reset never
+// recomputes it.
+//
+// PFC is the exception: pause/resume frames cross cut links with zero
+// serialization (sendPFC pushes at generation, due prop later), so a
+// PFC-enabled fabric keeps the bare-propagation lookahead.
+//
+// slack is the same bound ignoring the partitioning and PFC: the widest
+// window any configuration of this fabric could use, canonical across
+// shard counts and lookahead choices — the Done-horizon slack (see
+// WindowSlack).
+func (net *Network) computeLookahead() {
+	serMin := net.Cfg.Rate.Serialize(minWire())
+	net.slack = net.Cfg.Prop + serMin
+
+	cut := false
+	var la sim.Duration
+	for _, l := range net.Topo.Links() {
+		if net.partOf[l.A] == net.partOf[l.B] {
+			continue
+		}
+		cand := net.Cfg.Prop + serMin // per-link rate, if links ever differ
+		if !cut || cand < la {
+			cut, la = true, cand
+		}
+	}
+	switch {
+	case !cut:
+		// No cut links (single shard): windows are bounded only by the
+		// canonical slack.
+		net.lookahead = net.slack
+	case net.Cfg.PFC:
+		net.lookahead = net.Cfg.Prop
+	default:
+		net.lookahead = la
+	}
+}
+
+// Lookahead reports the safe-window width this partitioning supports —
+// the value to pass as sim.WindowConfig.Lookahead.
+func (net *Network) Lookahead() sim.Duration { return net.lookahead }
+
+// WindowSlack reports the canonical maximum window width for this config,
+// independent of partitioning, shard count and PFC: link propagation plus
+// the minimum frame serialization. Done-horizon hooks add it to the
+// done-condition's timestamp so the final deadline — and with it the
+// executed-event set and final clocks — is identical for every shard
+// count and every lookahead at or below it.
+func (net *Network) WindowSlack() sim.Duration { return net.slack }
 
 // scheduleFaults queues the fault model's link transitions (flaps,
 // degradations, loss bursts) as typed events on the engine owning each
@@ -173,6 +267,7 @@ func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 			eng:  consumer.eng,
 			clk:  clk,
 			part: consumer,
+			prod: net.parts[net.partOf[from]],
 			flt:  flt,
 		}
 		consumer.inbox = append(consumer.inbox, xchan)
@@ -254,6 +349,12 @@ func (net *Network) Reset(seed uint64, faults *fault.Model) {
 	for _, c := range net.chans {
 		c.reset()
 	}
+	for _, p := range net.parts {
+		for i := range p.dirty {
+			p.dirty[i] = nil
+		}
+		p.dirty = p.dirty[:0]
+	}
 	for i, l := 0, len(net.ports)/2; i < l; i++ {
 		net.ports[2*i].flt = faults.Dir(i, false)
 		net.ports[2*i+1].flt = faults.Dir(i, true)
@@ -300,12 +401,21 @@ func (net *Network) EngineOf(n packet.NodeID) *sim.Engine { return net.parts[net
 // keeping the canonical order shard-invariant.
 func (net *Network) Clock(n packet.NodeID) *sim.Clock { return &net.clks[n] }
 
-// Drain moves one shard's inbound cross-shard events into its engine —
-// the sim.RunWindows barrier hook. Must only run while every shard is
-// quiescent.
-func (net *Network) Drain(shard int) {
-	for _, c := range net.parts[shard].inbox {
-		c.drain()
+// DrainAll moves every pending inbound cross-shard event into its
+// consumer engine — the sim.RunWindows barrier hook. Must only run while
+// every shard is quiescent. Only channels on a producer's dirty list are
+// visited: a barrier where nothing crossed any boundary costs one
+// empty-slice check per partition.
+func (net *Network) DrainAll() {
+	for _, p := range net.parts {
+		if len(p.dirty) == 0 {
+			continue
+		}
+		for i, c := range p.dirty {
+			c.drain()
+			p.dirty[i] = nil
+		}
+		p.dirty = p.dirty[:0]
 	}
 }
 

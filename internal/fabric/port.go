@@ -61,13 +61,26 @@ type outPort struct {
 	// Nil on boundary ports, whose arrivals ride xchan instead.
 	deliver func(*packet.Packet)
 	// xchan, when non-nil, marks a boundary port: the link's receiver
-	// lives on another shard, and serialization end pushes the packet
-	// into this cross-shard channel instead of scheduling portDeliver.
+	// lives on another shard, and serialization *start* pushes the packet
+	// into this cross-shard channel — due one serialization plus one
+	// propagation delay out — instead of scheduling portDeliver. The
+	// early push is what widens the group's lookahead by the minimum
+	// frame serialization (see Network.computeLookahead); the arrival
+	// instant is identical to the interior path's.
 	xchan *linkChan
 
-	// inflight holds packets between transmission start and arrival at
-	// the peer: the tail is serializing, earlier entries are propagating.
+	// inflight holds interior packets between transmission start and
+	// arrival at the peer: the tail is serializing, earlier entries are
+	// propagating. Boundary packets live in xchan instead.
 	inflight pktRing
+
+	// serRank is the arrival rank of the packet currently serializing on
+	// an interior port, drawn at serialization start. Both paths draw the
+	// arrival rank at kick — boundary ports inside xchan.send, interior
+	// ports here — so a node's clock sequence is identical under every
+	// partitioning; portTxDone consumes it before the next kick overwrites
+	// it (at most one packet serializes per port at a time).
+	serRank uint64
 
 	// origin marks a NIC egress port: packets transmitted here enter the
 	// fabric and are counted in Census.Injected. Packed with the flag
@@ -96,8 +109,23 @@ func (o *outPort) kick() {
 		o.part.census.Injected++
 	}
 	o.busy = true
-	o.inflight.push(pkt)
-	o.eng.AfterEventFrom(o.clk, o.curRate.Serialize(pkt.Wire), o, portTxDone, 0)
+	ser := o.curRate.Serialize(pkt.Wire)
+	// The arrival rank is drawn first, then the txdone rank — on both
+	// paths, so the node's clock sequence is partitioning-invariant.
+	if o.xchan != nil {
+		// Boundary link: hand the packet to the cross-shard channel now,
+		// due at serialization end plus one propagation delay — the same
+		// arrival instant, same rank draw, as the interior path. A rate
+		// change mid-serialization cannot invalidate the due time (the
+		// packet being serialized keeps its timing, see applyChange), a
+		// PFC pause lets the current serialization complete, and a link
+		// death resolves consumer-side at arrival (linkChan.HandleEvent).
+		o.xchan.send(o.eng.Now().Add(ser+o.prop), pkt)
+	} else {
+		o.serRank = o.clk.Next()
+		o.inflight.push(pkt)
+	}
+	o.eng.AfterEventFrom(o.clk, ser, o, portTxDone, 0)
 }
 
 // HandleEvent implements sim.Handler: port timing events.
@@ -105,18 +133,12 @@ func (o *outPort) HandleEvent(kind uint8, _ uint64) {
 	switch kind {
 	case portTxDone:
 		o.busy = false
-		if o.xchan != nil {
-			// Boundary link: the receiver's shard takes over. Hand the
-			// packet to the cross-shard channel due one propagation
-			// delay out — the same instant, same rank draw, as the
-			// portDeliver event an interior port would schedule here.
-			// Fault resolution happens on the consumer side at arrival
-			// (linkChan.HandleEvent), mirroring portDeliver.
-			o.xchan.send(o.eng.Now().Add(o.prop), o.inflight.pop())
-		} else {
+		if o.xchan == nil {
 			// Arrival at the peer is one propagation delay after the
-			// last byte leaves.
-			o.eng.AfterEventFrom(o.clk, o.prop, o, portDeliver, 0)
+			// last byte leaves; the rank was drawn at serialization
+			// start (kick). Boundary ports already pushed their packet
+			// into the channel at kick.
+			o.eng.ScheduleRanked(o.eng.Now().Add(o.prop), o.serRank, o, portDeliver, 0)
 		}
 		o.kick()
 	case portDeliver:

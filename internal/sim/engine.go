@@ -145,6 +145,19 @@ type Engine struct {
 	queue   timingWheel
 	stopped bool
 
+	// nextAt/nextKnown cache the earliest pending event's firing time, so
+	// NextEventTime is an O(1) read at window barriers instead of a
+	// peekAt that may cascade the wheel's refill on an engine that is not
+	// about to run. RunWindow primes the cache on exit with the peek it
+	// already performed (inside the parallel section, on the shard's own
+	// goroutine); pushes can only lower it. Pops invalidate it too, but
+	// to keep the per-event loop free of cache bookkeeping that is done
+	// once at every run-loop entry (Run, RunUntil, RunWindow) rather
+	// than in step() — between those boundaries the cache is only ever
+	// read at barriers, where the last RunWindow exit has re-primed it.
+	nextAt    Time
+	nextKnown bool
+
 	// Stats.
 	executed uint64
 }
@@ -163,6 +176,7 @@ func (e *Engine) Reset() {
 	e.now, e.executed = 0, 0
 	e.clk.Reset()
 	e.stopped = false
+	e.nextAt, e.nextKnown = 0, false
 	e.queue.reset()
 }
 
@@ -184,6 +198,14 @@ func (e *Engine) checkTime(at Time) {
 	}
 }
 
+// noteSchedule keeps the next-event cache correct across pushes: a new
+// event can only lower the cached minimum, never raise it.
+func (e *Engine) noteSchedule(at Time) {
+	if e.nextKnown && at < e.nextAt {
+		e.nextAt = at
+	}
+}
+
 // ScheduleEventFrom runs h.HandleEvent(kind, arg) at absolute time at,
 // ranking the event under clk — the hot path for everything owned by a
 // topology node. It performs no allocation beyond amortized growth of the
@@ -197,6 +219,7 @@ func (e *Engine) ScheduleEventFrom(clk *Clock, at Time, h Handler, kind uint8, a
 	if clk == nil {
 		clk = &e.clk
 	}
+	e.noteSchedule(at)
 	e.queue.push(event{at: at, rank: clk.Next(), h: h, kind: kind, arg: arg})
 }
 
@@ -226,7 +249,40 @@ func (e *Engine) AfterEvent(d Duration, h Handler, kind uint8, arg uint64) {
 // channel re-ranks nothing, so the merged order equals the serial order.
 func (e *Engine) ScheduleRanked(at Time, rank uint64, h Handler, kind uint8, arg uint64) {
 	e.checkTime(at)
+	e.noteSchedule(at)
 	e.queue.push(event{at: at, rank: rank, h: h, kind: kind, arg: arg})
+}
+
+// RankedEvent is one pre-ranked occurrence for ScheduleRankedBatch: the
+// (At, Rank) key plus the handler dispatch payload.
+type RankedEvent struct {
+	At   Time
+	Rank uint64
+	Arg  uint64
+	Kind uint8
+}
+
+// ScheduleRankedBatch inserts a batch of pre-ranked events for a single
+// handler in one call — the barrier drain path for cross-shard channels,
+// which would otherwise pay per-event call and cache-update overhead for
+// every packet that crossed a cut link during the window. Entries may be
+// in any order (a boundary channel's push order is nearly sorted, but a
+// PFC frame generated mid-serialization is due before the data packet
+// pushed ahead of it); one scan finds the batch minimum for the past-time
+// check and the next-event cache.
+func (e *Engine) ScheduleRankedBatch(h Handler, evs []RankedEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	earliest := evs[0].At
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < earliest {
+			earliest = evs[i].At
+		}
+	}
+	e.checkTime(earliest)
+	e.noteSchedule(earliest)
+	e.queue.pushBatch(h, evs)
 }
 
 // Schedule runs fn at absolute time at. This is the legacy closure path,
@@ -234,6 +290,7 @@ func (e *Engine) ScheduleRanked(at Time, rank uint64, h Handler, kind uint8, arg
 // callers use ScheduleEventFrom.
 func (e *Engine) Schedule(at Time, fn func()) {
 	e.checkTime(at)
+	e.noteSchedule(at)
 	e.queue.push(event{at: at, rank: e.clk.Next(), fn: fn})
 }
 
@@ -245,6 +302,7 @@ func (e *Engine) After(d Duration, fn func()) {
 // Run executes events until the queue empties or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
+	e.nextKnown = false
 	for e.queue.size > 0 && !e.stopped {
 		e.step()
 	}
@@ -256,6 +314,7 @@ func (e *Engine) Run() {
 // stays at the last executed event.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
+	e.nextKnown = false
 	for e.queue.size > 0 {
 		// The stop check must precede the deadline check: when Stop()
 		// fired during the previous event, advancing the clock to the
@@ -280,8 +339,14 @@ func (e *Engine) RunUntil(deadline Time) {
 // coordinator's Done hook.
 func (e *Engine) RunWindow(end Time) {
 	e.stopped = false
+	e.nextKnown = false
 	for e.queue.size > 0 && !e.stopped {
-		if e.queue.peekAt() >= end {
+		if at := e.queue.peekAt(); at >= end {
+			// Prime the next-event cache with the peek just performed:
+			// the refill cost was paid here, on the shard's own goroutine
+			// inside the parallel section, so the coordinator's barrier
+			// scan reads it for free.
+			e.nextAt, e.nextKnown = at, true
 			return
 		}
 		e.step()
@@ -289,11 +354,17 @@ func (e *Engine) RunWindow(end Time) {
 }
 
 // NextEventTime reports the firing time of the earliest pending event.
+// It is cheap and non-mutating when the cache is warm — which RunWindow
+// keeps it between windows — so barrier scans never trigger wheel refill
+// cascades on engines that are not about to run.
 func (e *Engine) NextEventTime() (Time, bool) {
 	if e.queue.size == 0 {
 		return 0, false
 	}
-	return e.queue.peekAt(), true
+	if !e.nextKnown {
+		e.nextAt, e.nextKnown = e.queue.peekAt(), true
+	}
+	return e.nextAt, true
 }
 
 // AdvanceTo moves the clock forward to t without executing anything —

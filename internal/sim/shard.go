@@ -1,11 +1,16 @@
 package sim
 
+import (
+	"fmt"
+	"runtime/debug"
+)
+
 // Conservative-parallel execution: one simulation partitioned across S
 // shard engines, advancing in lockstep through safe windows.
 //
 // The synchronization model is the classic conservative PDES null-message-
 // free barrier variant, specialized to a fabric whose only cross-shard
-// interactions ride links with a fixed propagation delay (the lookahead):
+// interactions ride links with a known minimum latency (the lookahead):
 //
 //   - At a barrier every shard is quiescent and every cross-shard event
 //     produced so far has been drained into its destination engine.
@@ -16,6 +21,12 @@ package sim
 //     the window can land before T + lookahead.
 //   - Therefore every shard may execute its events with at < T + lookahead
 //     in parallel without ever receiving a straggler into that range.
+//
+// The lookahead is whatever minimum the producer can prove: bare link
+// propagation always works, and fabric widens it to propagation plus the
+// serialization delay of the smallest frame crossing a cut link by pushing
+// boundary occurrences at serialization *start* (see fabric.NewPartitioned
+// for the full argument).
 //
 // Determinism does not depend on the window boundaries at all: events
 // carry the canonical (at, rank) key, ranks are drawn by the producing
@@ -31,34 +42,116 @@ type WindowConfig struct {
 	// degenerates to windowed serial execution — same barrier cadence,
 	// same Done semantics, so results match sharded runs exactly.
 	Engines []*Engine
-	// Lookahead is the minimum cross-shard event latency (the link
-	// propagation delay for a partitioned fabric). Values <= 0 degrade to
-	// one-timestep windows, which is only sensible for a single engine.
+	// Lookahead is the minimum cross-shard event latency (at least the
+	// link propagation delay for a partitioned fabric; see
+	// fabric.Network.Lookahead for the widened bound). Values <= 0
+	// degrade to one-timestep windows, which is only sensible for a
+	// single engine.
 	Lookahead Duration
 	// Deadline bounds the run like Engine.RunUntil: events at or before
 	// it execute, and if the run is cut short by it every engine's clock
-	// advances to it.
+	// advances to it. MaxTime means effectively unbounded; the window
+	// arithmetic saturates rather than wrapping past it.
 	Deadline Time
-	// Drain, when non-nil, is called for every shard index at each
-	// barrier, before the next window is sized. It must move that shard's
-	// inbound cross-shard events into its engine (see fabric's boundary
-	// channels). It runs on the coordinating goroutine; the barrier
-	// orders it against all shard execution.
-	Drain func(shard int)
+	// Drain, when non-nil, is called at each barrier, before the next
+	// window is sized. It must move every pending inbound cross-shard
+	// event into its destination engine (see fabric's boundary channels
+	// and their dirty lists). It runs on the coordinating goroutine; the
+	// barrier orders it against all shard execution.
+	Drain func()
 	// Done, when non-nil, is polled at each barrier; returning true ends
 	// the run. This replaces Engine.Stop for windowed runs: a stop
-	// condition raised mid-window takes effect at the window's end, which
-	// keeps the set of executed events independent of the shard count.
+	// condition raised mid-window takes effect at a barrier, never
+	// mid-window.
 	Done func() bool
+	// Horizon, when non-nil, is consulted once — at the first barrier
+	// where Done reports true — and clamps the remaining run to
+	// min(Deadline, Horizon()): the run continues through the window
+	// protocol until that final deadline and every engine's clock lands
+	// exactly on it. This makes the executed event set, and every
+	// engine's final Now, a pure function of simulation state —
+	// independent of the shard count AND of the lookahead width (a wider
+	// lookahead reaches Done in a different window, but the clamped
+	// deadline is the same). Callers derive the horizon from the done
+	// condition itself, e.g. "time the last flow completed plus the
+	// maximum window width ever usable" (fabric.Network.WindowSlack).
+	//
+	// When nil, Done ends the run at its barrier immediately; engines
+	// are aligned to the maximum shard clock so they at least agree,
+	// but the stopping window — and thus the trailing executed-event set
+	// — depends on the configured lookahead.
+	Horizon func() Time
+}
+
+// ShardPanic is the panic value RunWindows re-raises on the caller's
+// goroutine when a shard panics inside its window. The original value and
+// the panicking goroutine's stack ride along, so the real failure surfaces
+// instead of a coordinator deadlock.
+type ShardPanic struct {
+	Shard int
+	Value any
+	Stack string
+}
+
+func (p ShardPanic) String() string {
+	return fmt.Sprintf("sim: shard %d panicked in window: %v\n%s", p.Shard, p.Value, p.Stack)
+}
+
+// shardAck is one shard's end-of-window report to the coordinator.
+type shardAck struct {
+	shard    int
+	panicVal any
+	stack    []byte
+}
+
+// runWindowRecover runs one shard's window, converting a panic into an
+// ack the coordinator can collect. Swallowing the panic here is what
+// keeps the barrier protocol alive long enough for every other shard to
+// ack; the coordinator re-raises it as a ShardPanic.
+func runWindowRecover(e *Engine, shard int, w Time) (ack shardAck) {
+	ack.shard = shard
+	defer func() {
+		if r := recover(); r != nil {
+			ack.panicVal = r
+			ack.stack = debug.Stack()
+		}
+	}()
+	e.RunWindow(w)
+	return
+}
+
+// windowEnd sizes the window starting at t: t + lookahead, saturated
+// against overflow, clamped to deadline+1 (events exactly at the deadline
+// still execute, RunUntil semantics). Caller guarantees t < MaxTime and
+// t <= deadline.
+func windowEnd(t Time, lookahead Duration, deadline Time) Time {
+	w := t + Time(lookahead)
+	if w < t {
+		w = MaxTime // overflow saturates
+	}
+	if w <= t {
+		w = t + 1 // zero lookahead: single-timestep window
+	}
+	if w > deadline {
+		if deadline == MaxTime {
+			return MaxTime // deadline+1 would wrap to the distant past
+		}
+		return deadline + 1
+	}
+	return w
 }
 
 // RunWindows executes a group of shard engines to completion under the
 // conservative window protocol. It returns true when the run ended via
 // the Done hook, false when the event population drained or the deadline
-// cut it short (in which case clocks are advanced to the deadline).
+// cut it short; on every exit path the engines' clocks agree (the final
+// deadline, or the maximum shard clock on the legacy nil-Horizon Done
+// path).
 //
 // Coordination is strictly channel-based — no spinning — so the runner is
 // correct (if not parallel) at GOMAXPROCS=1 and under the race detector.
+// A window is dispatched only to shards whose next pending event falls
+// inside it; idle shards skip the handoff round trip entirely.
 func RunWindows(cfg WindowConfig) bool {
 	n := len(cfg.Engines)
 	if n == 0 {
@@ -70,20 +163,19 @@ func RunWindows(cfg WindowConfig) bool {
 	// and wider groups save one round trip per window.
 	var (
 		starts []chan Time
-		acks   chan struct{}
+		acks   chan shardAck
 	)
 	if n > 1 {
 		starts = make([]chan Time, n)
-		acks = make(chan struct{}, n-1)
+		acks = make(chan shardAck, n-1)
 		for i := 1; i < n; i++ {
 			ch := make(chan Time)
 			starts[i] = ch
-			go func(e *Engine) {
+			go func(e *Engine, shard int) {
 				for w := range ch {
-					e.RunWindow(w)
-					acks <- struct{}{}
+					acks <- runWindowRecover(e, shard, w)
 				}
-			}(cfg.Engines[i])
+			}(cfg.Engines[i], i)
 		}
 		defer func() {
 			for i := 1; i < n; i++ {
@@ -92,16 +184,32 @@ func RunWindows(cfg WindowConfig) bool {
 		}()
 	}
 
+	doneSeen := false
 	for {
 		// Barrier: all shards quiescent. Drain cross-shard channels, then
 		// decide whether and how far to run.
 		if cfg.Drain != nil {
-			for i := 0; i < n; i++ {
-				cfg.Drain(i)
-			}
+			cfg.Drain()
 		}
-		if cfg.Done != nil && cfg.Done() {
-			return true
+		if !doneSeen && cfg.Done != nil && cfg.Done() {
+			doneSeen = true
+			if cfg.Horizon == nil {
+				// Legacy immediate stop: align every clock to the
+				// furthest shard so Now() agrees across the group.
+				var m Time
+				for _, e := range cfg.Engines {
+					if e.Now() > m {
+						m = e.Now()
+					}
+				}
+				for _, e := range cfg.Engines {
+					e.AdvanceTo(m)
+				}
+				return true
+			}
+			if h := cfg.Horizon(); h < cfg.Deadline {
+				cfg.Deadline = h
+			}
 		}
 		var (
 			t    Time
@@ -116,23 +224,49 @@ func RunWindows(cfg WindowConfig) bool {
 			for _, e := range cfg.Engines {
 				e.AdvanceTo(cfg.Deadline)
 			}
-			return false
+			return doneSeen
 		}
-		w := t.Add(cfg.Lookahead)
-		if w <= t {
-			w = t + 1 // zero lookahead: single-timestep window
+		if t == MaxTime {
+			// Final representable instant: no window can extend past it.
+			// Every pending event fires at exactly MaxTime, and nothing
+			// they produce can be due earlier (or later — scheduling past
+			// MaxTime wraps and panics as a past-time model bug), so the
+			// shards cannot interact and run sequentially here.
+			for _, e := range cfg.Engines {
+				e.RunUntil(MaxTime)
+			}
+			continue
 		}
-		if w > cfg.Deadline {
-			// Events exactly at the deadline still execute (RunUntil
-			// semantics); the exclusive window end is deadline+1.
-			w = cfg.Deadline + 1
+		w := windowEnd(t, cfg.Lookahead, cfg.Deadline)
+		// Dispatch only to shards with work inside the window; an idle
+		// shard's cached next-event time makes this scan O(1) per shard.
+		dispatched := 0
+		run0 := false
+		for i, e := range cfg.Engines {
+			if at, ok := e.NextEventTime(); !ok || at >= w {
+				continue
+			}
+			if i == 0 {
+				run0 = true
+			} else {
+				starts[i] <- w
+				dispatched++
+			}
 		}
-		for i := 1; i < n; i++ {
-			starts[i] <- w
+		var failed *shardAck
+		if run0 {
+			if ack := runWindowRecover(cfg.Engines[0], 0, w); ack.panicVal != nil {
+				failed = &ack
+			}
 		}
-		cfg.Engines[0].RunWindow(w)
-		for i := 1; i < n; i++ {
-			<-acks
+		for j := 0; j < dispatched; j++ {
+			ack := <-acks
+			if ack.panicVal != nil && failed == nil {
+				failed = &ack
+			}
+		}
+		if failed != nil {
+			panic(ShardPanic{Shard: failed.shard, Value: failed.panicVal, Stack: string(failed.stack)})
 		}
 	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sort"
+	"sync"
 	"testing"
 )
 
@@ -81,17 +82,9 @@ func TestRunWindowsTwoShards(t *testing.T) {
 			}
 			inbox1 = inbox1[:0]
 		}
-		drain := func(shard int) {
-			if engCount == 1 {
-				drainNode0()
-				drainNode1()
-				return
-			}
-			if shard == 0 {
-				drainNode0()
-			} else {
-				drainNode1()
-			}
+		drain := func() {
+			drainNode0()
+			drainNode1()
 		}
 
 		RunWindows(WindowConfig{
@@ -171,6 +164,196 @@ func TestRunWindowsDoneAtBarrier(t *testing.T) {
 	}
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("executed %v, want [1 2]", got)
+	}
+}
+
+// TestRunWindowsMaxDeadline: a Deadline of MaxTime must not wrap the
+// window arithmetic. Before the saturating fix, `w = Deadline + 1`
+// overflowed to the most negative Time once `t + lookahead` passed the
+// deadline, turning every subsequent window empty and looping forever;
+// events at (and near) MaxTime must execute and the run must terminate.
+func TestRunWindowsMaxDeadline(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	var got []uint64
+	h := recHandler{&got}
+	a.ScheduleEvent(10, h, 0, 1)
+	a.ScheduleEvent(MaxTime-1, h, 0, 2)
+	b.ScheduleEvent(MaxTime, h, 0, 3)
+	stopped := RunWindows(WindowConfig{
+		Engines:   []*Engine{a, b},
+		Lookahead: 50,
+		Deadline:  MaxTime,
+	})
+	if stopped {
+		t.Fatal("run reported a Done stop without a Done hook")
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("executed %v, want [1 2 3]", got)
+	}
+	if a.Now() != MaxTime || b.Now() != MaxTime {
+		t.Fatalf("clocks at %d/%d, want MaxTime", a.Now(), b.Now())
+	}
+}
+
+// TestRunWindowsDoneClockAlignment: on the nil-Horizon Done exit path,
+// every engine's clock must agree. Before the fix, only the drained and
+// deadline paths called AdvanceTo, so a shard that executed nothing in
+// the final window reported a stale Now.
+func TestRunWindowsDoneClockAlignment(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	// Events 1 and 2 land in the same first window on different shard
+	// goroutines, so the record is mutex-guarded (only the clocks are
+	// asserted — cross-shard execution order within a window is free).
+	var mu sync.Mutex
+	var done bool
+	record := handlerFunc(func(uint8, uint64) {})
+	fire := handlerFunc(func(uint8, uint64) {
+		mu.Lock()
+		done = true
+		mu.Unlock()
+	})
+	a.ScheduleEvent(40, fire, 0, 1)
+	b.ScheduleEvent(5, record, 0, 2)      // b's clock would otherwise stall at 5
+	b.ScheduleEvent(90_000, record, 0, 3) // never runs
+	stopped := RunWindows(WindowConfig{
+		Engines:   []*Engine{a, b},
+		Lookahead: 50,
+		Deadline:  1 << 20,
+		Done:      func() bool { return done },
+	})
+	if !stopped {
+		t.Fatal("Done stop not reported")
+	}
+	if a.Now() != b.Now() {
+		t.Fatalf("clocks disagree on the Done path: %d vs %d", a.Now(), b.Now())
+	}
+	if a.Now() != 40 {
+		t.Fatalf("clocks at %d, want the max shard clock 40", a.Now())
+	}
+}
+
+// TestRunWindowsHorizon: with a Horizon hook, a Done stop clamps the
+// deadline instead of returning immediately — the run continues through
+// the window protocol to min(Deadline, Horizon()), executes everything
+// due by then (regardless of which window Done happened to surface in),
+// and lands every clock exactly on the final deadline. This is what
+// makes the executed-event set invariant across lookahead widths, for
+// any width up to the horizon's slack past the done condition (here the
+// done event fires at 40 and the horizon is 150, so widths <= 110
+// qualify; callers guarantee this by deriving the horizon as "done time
+// plus the maximum window width in use", e.g. fabric.WindowSlack).
+func TestRunWindowsHorizon(t *testing.T) {
+	for _, lookahead := range []Duration{3, 50, 110} {
+		a, b := NewEngine(), NewEngine()
+		// Wide windows run both engines' events concurrently, so the
+		// record is mutex-guarded and compared as a set: the invariant
+		// is about WHICH events execute, not cross-shard append order.
+		var mu sync.Mutex
+		var got []uint64
+		done := false
+		record := handlerFunc(func(_ uint8, arg uint64) {
+			mu.Lock()
+			got = append(got, arg)
+			mu.Unlock()
+		})
+		fire := handlerFunc(func(_ uint8, arg uint64) {
+			mu.Lock()
+			got = append(got, arg)
+			done = true
+			mu.Unlock()
+		})
+		a.ScheduleEvent(40, fire, 0, 1)
+		b.ScheduleEvent(100, record, 0, 2) // inside the horizon: must run
+		b.ScheduleEvent(200, record, 0, 3) // outside: must not
+		stopped := RunWindows(WindowConfig{
+			Engines:   []*Engine{a, b},
+			Lookahead: lookahead,
+			Deadline:  1 << 20,
+			Done:      func() bool { return done },
+			Horizon:   func() Time { return 150 },
+		})
+		if !stopped {
+			t.Fatalf("lookahead %d: Done stop not reported", lookahead)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+			t.Fatalf("lookahead %d: executed %v, want {1 2}", lookahead, got)
+		}
+		if a.Now() != 150 || b.Now() != 150 {
+			t.Fatalf("lookahead %d: clocks at %d/%d, want horizon 150", lookahead, a.Now(), b.Now())
+		}
+	}
+}
+
+// TestRunWindowsShardPanic: a panic inside a shard's window must surface
+// on the RunWindows caller as a ShardPanic instead of deadlocking the
+// barrier (the panicking shard's ack never arrived before the fix). Both
+// the coordinator-inline shard 0 and a worker-goroutine shard are
+// exercised.
+func TestRunWindowsShardPanic(t *testing.T) {
+	for _, shard := range []int{0, 1} {
+		a, b := NewEngine(), NewEngine()
+		engs := []*Engine{a, b}
+		var got []uint64
+		h := recHandler{&got}
+		boom := handlerFunc(func(uint8, uint64) { panic("boom") })
+		engs[shard].ScheduleEvent(10, boom, 0, 0)
+		engs[1-shard].ScheduleEvent(10, h, 0, 1)
+		func() {
+			defer func() {
+				r := recover()
+				sp, ok := r.(ShardPanic)
+				if !ok {
+					t.Fatalf("shard %d: recovered %v (%T), want ShardPanic", shard, r, r)
+				}
+				if sp.Shard != shard || sp.Value != "boom" || sp.Stack == "" {
+					t.Fatalf("shard %d: ShardPanic = {Shard:%d Value:%v stack:%d bytes}",
+						shard, sp.Shard, sp.Value, len(sp.Stack))
+				}
+			}()
+			RunWindows(WindowConfig{
+				Engines:   engs,
+				Lookahead: 50,
+				Deadline:  1 << 20,
+			})
+			t.Fatalf("shard %d: RunWindows returned instead of panicking", shard)
+		}()
+	}
+}
+
+// TestNextEventTimeCached: NextEventTime must stay correct through the
+// cache's lifecycle — primed by RunWindow, lowered by pushes, invalidated
+// by pops — since the window coordinator trusts it to size and dispatch
+// windows.
+func TestNextEventTimeCached(t *testing.T) {
+	e := NewEngine()
+	var got []uint64
+	h := recHandler{&got}
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("empty engine reported a next event")
+	}
+	e.ScheduleEvent(100, h, 0, 1)
+	if at, ok := e.NextEventTime(); !ok || at != 100 {
+		t.Fatalf("next = %d,%v, want 100", at, ok)
+	}
+	e.RunWindow(50) // executes nothing; primes the cache at 100
+	if at, ok := e.NextEventTime(); !ok || at != 100 {
+		t.Fatalf("next after empty window = %d,%v, want 100", at, ok)
+	}
+	e.ScheduleRanked(60, 1, h, 0, 2) // must lower the cached value
+	if at, ok := e.NextEventTime(); !ok || at != 60 {
+		t.Fatalf("next after lower push = %d,%v, want 60", at, ok)
+	}
+	e.RunWindow(70) // pops event 2; cache re-primed at 100
+	if at, ok := e.NextEventTime(); !ok || at != 100 {
+		t.Fatalf("next after window = %d,%v, want 100", at, ok)
+	}
+	e.RunWindow(200)
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("drained engine reported a next event")
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("executed %v, want [2 1]", got)
 	}
 }
 
@@ -259,12 +442,15 @@ func FuzzShardMerge(f *testing.F) {
 				break
 			}
 			w := tmin + lookahead
+			var batch []RankedEvent
 			for p := range streams {
+				batch = batch[:0]
 				for heads[p] < len(streams[p]) && streams[p][heads[p]].at < w {
 					x := streams[p][heads[p]]
-					e.ScheduleRanked(x.at, x.rank, h, 0, x.rank)
+					batch = append(batch, RankedEvent{At: x.at, Rank: x.rank, Arg: x.rank})
 					heads[p]++
 				}
+				e.ScheduleRankedBatch(h, batch)
 			}
 			e.RunWindow(w)
 		}

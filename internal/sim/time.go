@@ -26,6 +26,11 @@ type Time int64
 // Duration is a span of simulation time in integer picoseconds.
 type Duration int64
 
+// MaxTime is the largest representable simulation time. Callers use it as
+// an "effectively unbounded" deadline; the window coordinator saturates
+// its arithmetic against it instead of wrapping (see RunWindows).
+const MaxTime Time = 1<<63 - 1
+
 // Common durations, mirroring the time package but in picoseconds.
 const (
 	Picosecond  Duration = 1

@@ -110,6 +110,16 @@ func (w *timingWheel) push(ev event) {
 	w.place(ev)
 }
 
+// pushBatch enqueues a batch of pre-ranked events for one handler in a
+// single call: one size update and a tight placement loop, the bulk
+// counterpart of push for barrier drains of cross-shard channels.
+func (w *timingWheel) pushBatch(h Handler, evs []RankedEvent) {
+	w.size += len(evs)
+	for i := range evs {
+		w.place(event{at: evs[i].At, rank: evs[i].Rank, h: h, kind: evs[i].Kind, arg: evs[i].Arg})
+	}
+}
+
 // place routes ev to ready, a wheel bucket, or the overflow heap. Events
 // at or before the cursor go to ready — that is what keeps late arrivals
 // (scheduled mid-window after the cursor advanced past their tick) ahead

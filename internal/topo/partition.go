@@ -49,11 +49,21 @@ func PartitionNodes(t Topology, shards int) ([]int, int) {
 // unit. A pod's hosts, edge and aggregation switches always share a
 // shard — every host↔edge and edge↔agg link is intra-pod, so only
 // agg↔core links can cross shards, and the lookahead window always spans
-// at least one link propagation delay of slack. Pods are dealt
-// round-robin over the shards (10 pods over 4 shards → 3/3/2/2), and
-// each core switch joins the shard it talks to most — cores attach to
-// one aggregation index in every pod, so any choice cuts most of their
-// links; spreading them round-robin keeps the shard loads level.
+// at least one link propagation delay of slack.
+//
+// Balancing is by expected event rate rather than pod count: hosts carry
+// the transports (flow arrivals, timers, per-packet NIC work — traffic is
+// launched uniformly over hosts) and weigh several switches' worth of
+// events, so each pod's weight is its host count scaled up plus its
+// switch count, and pods go to the currently lightest shard in pod order
+// (longest-processing-time greedy; on a uniform fat-tree every pod weighs
+// the same, so this degenerates to the old round-robin deal — the
+// weighting matters for the core tail below and for irregular
+// topologies). Core switches join afterwards, each to the lightest shard
+// at its turn — cores attach to one aggregation index in every pod, so
+// any placement cuts most of their links and the choice is free to chase
+// balance alone. Ties break toward the lowest shard index, keeping the
+// assignment deterministic and shard indexes dense.
 func (t *FatTree) Partition(shards int) []int {
 	if shards > t.K {
 		shards = t.K // more shards than pods would leave shards empty
@@ -62,12 +72,45 @@ func (t *FatTree) Partition(shards int) []int {
 	if shards <= 1 {
 		return assign
 	}
+
+	// Per-pod event-rate weights. hostWeight is a coarse calibration of
+	// transport + NIC event load against a switch's forwarding load; the
+	// exact ratio only matters when pods are unequal.
+	const hostWeight, switchWeight = 4, 1
+	podW := make([]int, t.K)
+	for _, n := range t.nodes {
+		switch n.Kind {
+		case Host:
+			podW[n.Pod] += hostWeight
+		case EdgeSwitch, AggSwitch:
+			podW[n.Pod] += switchWeight
+		}
+	}
+
+	load := make([]int, shards)
+	lightest := func() int {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		return best
+	}
+	podShard := make([]int, t.K)
+	for pod := 0; pod < t.K; pod++ {
+		s := lightest()
+		podShard[pod] = s
+		load[s] += podW[pod]
+	}
 	for _, n := range t.nodes {
 		switch n.Kind {
 		case Host, EdgeSwitch, AggSwitch:
-			assign[n.ID] = n.Pod % shards
+			assign[n.ID] = podShard[n.Pod]
 		case CoreSwitch:
-			assign[n.ID] = n.Idx % shards
+			s := lightest()
+			assign[n.ID] = s
+			load[s] += switchWeight
 		}
 	}
 	return assign

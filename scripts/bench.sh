@@ -7,8 +7,13 @@
 #
 #   jq -r '.benchmarks[] | [.name, .ns_per_op, .allocs_per_op] | @tsv' BENCH_1.json
 #
+# For every benchmark pair X / XShards (FigScale, FigDC), benchjson
+# derives the recorded "speedup" metric — serial ns/op ÷ sharded ns/op,
+# the intra-run parallel speedup of the conservative-parallel engine.
+#
 # Delta mode diffs the two newest checked-in baselines and fails on
-# ns/op or bytes/op regressions (CI runs this in bench-smoke):
+# ns/op or bytes/op regressions, or on a parallel-speedup drop beyond
+# the same threshold (CI runs this in bench-smoke):
 #
 #   scripts/bench.sh delta            # newest vs. previous BENCH_*.json
 #   BENCH_MAX_REGRESS=5 scripts/bench.sh delta
