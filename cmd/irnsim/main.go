@@ -15,6 +15,9 @@
 //	irnsim -flap-links 8 -flap-down-us 400        # transient link failures
 //	irnsim -degrade-links 8 -degrade-factor 0.25  # links at quarter speed
 //	irnsim -chaos rolling -shards 4               # chaos suite, sharded
+//	irnsim -kv 200                                # replicated KV service load
+//	irnsim -kv 200 -kv-mode writeimm -chaos flap-storm
+//	                                              # KV availability under chaos
 //	irnsim -cpuprofile cpu.prof -memprofile mem.prof
 //	                                              # pprof the run (go tool pprof)
 package main
@@ -30,6 +33,7 @@ import (
 	"github.com/irnsim/irn/internal/core"
 	"github.com/irnsim/irn/internal/exp"
 	"github.com/irnsim/irn/internal/fault"
+	"github.com/irnsim/irn/internal/kv"
 	"github.com/irnsim/irn/internal/prof"
 	"github.com/irnsim/irn/internal/sim"
 	"github.com/irnsim/irn/internal/topo"
@@ -48,6 +52,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed (base seed when -trials > 1)")
 		workload  = flag.String("workload", "heavy", "workload: heavy | uniform | websearch | hadoop")
 		incast    = flag.Int("incast", 0, "incast fan-in M (0 = Poisson workload)")
+		kvReqs    = flag.Int("kv", 0, "run the replicated KV service with this many requests (0 = flow workload)")
+		kvMode    = flag.String("kv-mode", "send", "KV RPC wire variant: send | writeimm")
 		recovery  = flag.String("recovery", "sack", "IRN loss recovery: sack | gbn | nosack")
 		noBDPFC   = flag.Bool("no-bdpfc", false, "disable IRN's BDP-FC")
 		overheads = flag.Bool("worst-overheads", false, "model the §6.3 worst-case overheads")
@@ -134,6 +140,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown recovery %q\n", *recovery)
 		os.Exit(2)
 	}
+	if *kvReqs > 0 {
+		s.KV.Requests = *kvReqs
+		s.NumFlows = 0
+		switch *kvMode {
+		case "send":
+			s.KV.Mode = kv.ModeSend
+		case "writeimm":
+			s.KV.Mode = kv.ModeWriteImm
+		default:
+			fmt.Fprintf(os.Stderr, "unknown kv mode %q\n", *kvMode)
+			os.Exit(2)
+		}
+	}
 	s.NoBDPFC = *noBDPFC
 	if *overheads {
 		s.RetxFetchDelay = 2 * sim.Microsecond
@@ -168,6 +187,12 @@ func main() {
 		// suite's phases.
 		spec.LossRate, spec.CorruptRate = s.Faults.LossRate, s.Faults.CorruptRate
 		s.Faults = spec
+		// KV runs report per-phase availability against the suite's windows.
+		if *kvReqs > 0 {
+			for _, w := range sched.Windows() {
+				s.KV.Phases = append(s.KV.Phases, kv.Phase{Name: w.Name, From: w.From, To: w.To})
+			}
+		}
 	}
 	if *flapLinks > 0 || *degradeLinks > 0 {
 		t := topo.NewFatTree(*arity)
@@ -200,6 +225,9 @@ func main() {
 	}
 	if *incast > 0 {
 		s.Name += fmt.Sprintf(" incast M=%d", *incast)
+	}
+	if *kvReqs > 0 {
+		s.Name += fmt.Sprintf(" kv[%s x%d]", *kvMode, *kvReqs)
 	}
 	if *chaos != "" {
 		s.Name += fmt.Sprintf(" chaos[%s x%d]", *chaos, *chaosCycles)
@@ -252,6 +280,21 @@ func main() {
 			fmt.Printf("faults         lost=%d corrupted=%d\n", r.Net.FaultDrops, r.Net.Corrupted)
 		}
 		fmt.Printf("transport      retransmits=%d timeouts=%d\n", r.Retransmits, r.Timeouts)
+		if k := r.KV; k != nil {
+			fmt.Printf("kv             %d/%d resolved, availability=%.4f (SLO %v)\n",
+				k.Resolved, k.Issued, k.Availability, r.Scenario.KV.SLO)
+			fmt.Printf("kv_commit      p50=%v p99=%v (%d Puts committed, %d Gets)\n",
+				k.CommitP50, k.CommitP99, k.Committed, k.GetsOK)
+			fmt.Printf("kv_robustness  retries=%d timeouts=%d giveups=%d readonly=%d degraded=%d\n",
+				k.Retries, k.Timeouts, k.GiveUps, k.ReadOnly, k.DegradedEnters)
+			for _, p := range k.Phases {
+				if p.Issued == 0 {
+					continue
+				}
+				fmt.Printf("kv_phase       %-14s avail=%.3f (%d issued)\n",
+					p.Name, float64(p.WithinSLO)/float64(p.Issued), p.Issued)
+			}
+		}
 	}
 
 	var events uint64

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// figkvScenario pulls one scenario of the figkv preset at a test scale.
+func figkvScenario(t *testing.T, sc Scale, name string) Scenario {
+	t.Helper()
+	e := FigureKV(sc)
+	for _, s := range e.Scenarios {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("figkv has no scenario %q", name)
+	return Scenario{}
+}
+
+// TestFigKVShardDeterminismUnderChaos is the kv determinism regression:
+// the figkv flap-storm point (chaos schedule active, faults dropping
+// packets) must be bit-identical across shard counts — including the
+// full KV report — and a sharded rerun must land on the serial run's
+// store row (Fingerprint ignores Shards).
+func TestFigKVShardDeterminismUnderChaos(t *testing.T) {
+	base := figkvScenario(t, Scale{Flows: 40}, "IRN kv flap-leader send")
+
+	serial := Run(base)
+	if serial.ShardsUsed != 1 {
+		t.Fatalf("serial run reports ShardsUsed=%d", serial.ShardsUsed)
+	}
+	if serial.KV == nil {
+		t.Fatal("kv scenario produced no KV report")
+	}
+	if serial.KV.Resolved != serial.KV.Issued {
+		t.Fatalf("kv run incomplete: %d/%d resolved", serial.KV.Resolved, serial.KV.Issued)
+	}
+	if serial.Census.FaultDrops == 0 {
+		t.Fatal("chaos schedule injected no drops; the scenario is inert")
+	}
+	serialRow := RowFromResult("figkv", 0, serial)
+	for _, shards := range []int{2, 4} {
+		s := base
+		s.Shards = shards
+		got := Run(s)
+		if got.ShardsUsed != shards {
+			t.Errorf("requested %d shards, run spanned %d", shards, got.ShardsUsed)
+		}
+		if Fingerprint(s) != Fingerprint(base) {
+			t.Errorf("fingerprint at %d shards differs from serial", shards)
+		}
+		row := RowFromResult("figkv", 0, got)
+		if row.Key() != serialRow.Key() {
+			t.Errorf("sharded rerun row key %q misses serial row %q", row.Key(), serialRow.Key())
+		}
+		if !reflect.DeepEqual(stripShards(got), stripShards(serial)) {
+			t.Errorf("kv run at %d shards diverged from serial", shards)
+		}
+	}
+}
+
+// TestFigKVBlackoutDegrades pins the graceful-degradation point of the
+// preset: under the sustained leader-uplink blackout the leader must
+// enter read-only mode and reject Puts, clients must exhaust their
+// retry budgets, and every request must still resolve (no hangs).
+func TestFigKVBlackoutDegrades(t *testing.T) {
+	s := figkvScenario(t, Scale{Flows: 40}, "IRN kv blackout send")
+	res := Run(s)
+	k := res.KV
+	if k == nil {
+		t.Fatal("no KV report")
+	}
+	if k.Resolved != k.Issued {
+		t.Fatalf("blackout run hung: %d/%d resolved", k.Resolved, k.Issued)
+	}
+	if k.DegradedEnters == 0 {
+		t.Error("leader never degraded under a replication blackout")
+	}
+	if k.ReadOnly == 0 {
+		t.Error("no read-only rejections while degraded")
+	}
+	if k.GiveUps == 0 {
+		t.Error("no client exhausted its retry budget during the blackout")
+	}
+}
+
+// TestFigKVIRNBeatsRoCEUnderFlap pins the headline comparison at the
+// default suite scale: under the leader flap storm IRN's selective
+// retransmission must deliver strictly higher availability and strictly
+// lower p99 commit latency than RoCE+PFC go-back-N.
+func TestFigKVIRNBeatsRoCEUnderFlap(t *testing.T) {
+	sc := Scale{Flows: 4000}
+	roce := Run(figkvScenario(t, sc, "RoCE+PFC kv flap-leader send"))
+	irn := Run(figkvScenario(t, sc, "IRN kv flap-leader send"))
+	if roce.KV == nil || irn.KV == nil {
+		t.Fatal("missing KV reports")
+	}
+	if irn.KV.Availability <= roce.KV.Availability {
+		t.Errorf("availability: IRN %.4f vs RoCE %.4f, want IRN strictly higher",
+			irn.KV.Availability, roce.KV.Availability)
+	}
+	if irn.KV.CommitP99 >= roce.KV.CommitP99 {
+		t.Errorf("commit p99: IRN %v vs RoCE %v, want IRN strictly lower",
+			irn.KV.CommitP99, roce.KV.CommitP99)
+	}
+}

@@ -30,6 +30,7 @@ const (
 	ReportCDF                      // Figure 8 tail CDFs
 	ReportIncast                   // Figure 9 RCT ratios
 	ReportFlap                     // FigureFlap RCT-vs-flapped-links series
+	ReportKV                       // FigureKV availability / commit-latency tables
 )
 
 // Scale globally adjusts experiment size: the number of Poisson flows per
@@ -699,7 +700,7 @@ func All(sc Scale) []Experiment {
 		Figure1(sc), Figure2(sc), Figure3(sc), Figure4(sc), Figure5(sc),
 		Figure6(sc), Figure7(sc), Figure8(sc), Figure9(sc), Figure10(sc),
 		Figure11(sc), Figure12(sc), FigureLoss(sc), FigureFlap(sc),
-		FigureChaos(sc), FigureScale(sc), FigureDC(sc),
+		FigureChaos(sc), FigureScale(sc), FigureDC(sc), FigureKV(sc),
 		IncastCrossTraffic(sc), WindowCC(sc),
 		TableA3(sc), TableA4(sc), TableA5(sc), TableA6(sc), TableA7(sc),
 		TableA8(sc), TableA9(sc), Ablations(sc), Reordering(sc),

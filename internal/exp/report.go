@@ -30,6 +30,8 @@ func Render(e Experiment, results []Result) string {
 		renderRatios(&b, results)
 	case ReportFlap:
 		renderFlap(&b, results)
+	case ReportKV:
+		renderKV(&b, results)
 	default:
 		renderBars(&b, results)
 	}

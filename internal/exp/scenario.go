@@ -12,6 +12,7 @@ import (
 	"github.com/irnsim/irn/internal/core"
 	"github.com/irnsim/irn/internal/fabric"
 	"github.com/irnsim/irn/internal/fault"
+	"github.com/irnsim/irn/internal/kv"
 	"github.com/irnsim/irn/internal/metrics"
 	"github.com/irnsim/irn/internal/packet"
 	"github.com/irnsim/irn/internal/rocev2"
@@ -158,6 +159,15 @@ type Scenario struct {
 	// only the fault axis, never the transport configuration.
 	RoCETimeouts bool
 
+	// KV replaces the flow workload with the replicated key-value
+	// service (internal/kv) when KV.Requests > 0: a leader, KV.Followers
+	// replicas and KV.Clients RPC clients are placed across the
+	// fat-tree's pods and driven open-loop while this scenario's fault
+	// schedule runs, measuring per-phase availability and commit latency
+	// instead of FCTs. The verbs transport follows Transport: IRN runs
+	// selective retransmission, RoCE go-back-N.
+	KV kv.Options
+
 	// Grace is how long past the last flow arrival the simulation may
 	// run before unfinished flows are declared incomplete.
 	Grace sim.Duration
@@ -197,8 +207,11 @@ func (s Scenario) normalize() Scenario {
 	if s.Load == 0 {
 		s.Load = 0.7
 	}
-	if s.NumFlows == 0 && s.IncastM == 0 {
+	if s.NumFlows == 0 && s.IncastM == 0 && s.KV.Requests == 0 {
 		s.NumFlows = 1000
+	}
+	if s.KV.Requests > 0 {
+		s.KV = s.KV.WithDefaults()
 	}
 	if s.RTOLow == 0 {
 		s.RTOLow = 100 * sim.Microsecond
@@ -278,6 +291,9 @@ type Result struct {
 	// otherwise. The differential harness reads its Exact* reference
 	// statistics.
 	ExactCollector *metrics.Collector
+	// KV is the replicated key-value service report, set only when the
+	// scenario ran the kv workload (Scenario.KV.Requests > 0).
+	KV *kv.Report
 }
 
 // senderStats abstracts per-transport counters.
@@ -479,6 +495,10 @@ func (w *Worker) Run(s Scenario) Result {
 	bdpCap := int(float64(net.BDPCap()) * s.BDPCapScale)
 	if bdpCap < 1 {
 		bdpCap = 1
+	}
+
+	if s.KV.Requests > 0 {
+		return w.runKV(s, net, engines, top, bdpCap)
 	}
 
 	// Build the flow list.

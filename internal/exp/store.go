@@ -49,6 +49,14 @@ type Row struct {
 	Retransmits uint64             `json:"retransmits"`
 	Timeouts    uint64             `json:"timeouts"`
 	Events      uint64             `json:"events"`
+	// KV columns (schema v2), present only on replicated-KV rows.
+	KVAvail       float64 `json:"kv_avail,omitempty"`
+	KVCommitP50ms float64 `json:"kv_commit_p50_ms,omitempty"`
+	KVCommitP99ms float64 `json:"kv_commit_p99_ms,omitempty"`
+	KVRetries     uint64  `json:"kv_retries,omitempty"`
+	KVGiveUps     uint64  `json:"kv_giveups,omitempty"`
+	KVDegraded    uint64  `json:"kv_degraded,omitempty"`
+	KVReadOnly    uint64  `json:"kv_readonly,omitempty"`
 }
 
 // Key identifies a row within a store.
@@ -84,7 +92,7 @@ func Fingerprint(s Scenario) string {
 
 // RowFromResult flattens a Result into its persisted form.
 func RowFromResult(expID string, trial int, res Result) Row {
-	return Row{
+	row := Row{
 		Exp:         expID,
 		Name:        res.Name,
 		Seed:        res.Scenario.normalize().Seed,
@@ -109,6 +117,16 @@ func RowFromResult(expID string, trial int, res Result) Row {
 		Timeouts:    res.Timeouts,
 		Events:      res.Events,
 	}
+	if k := res.KV; k != nil {
+		row.KVAvail = k.Availability
+		row.KVCommitP50ms = k.CommitP50.Millis()
+		row.KVCommitP99ms = k.CommitP99.Millis()
+		row.KVRetries = k.Retries
+		row.KVGiveUps = k.GiveUps
+		row.KVDegraded = k.DegradedEnters
+		row.KVReadOnly = k.ReadOnly
+	}
+	return row
 }
 
 // Store holds result rows indexed by key. The zero value is usable.
@@ -292,5 +310,12 @@ func diffRow(a, b Row) []string {
 	numeric("retransmits", float64(a.Retransmits), float64(b.Retransmits))
 	numeric("timeouts", float64(a.Timeouts), float64(b.Timeouts))
 	numeric("events", float64(a.Events), float64(b.Events))
+	numeric("kv_avail", a.KVAvail, b.KVAvail)
+	numeric("kv_commit_p50_ms", a.KVCommitP50ms, b.KVCommitP50ms)
+	numeric("kv_commit_p99_ms", a.KVCommitP99ms, b.KVCommitP99ms)
+	numeric("kv_retries", float64(a.KVRetries), float64(b.KVRetries))
+	numeric("kv_giveups", float64(a.KVGiveUps), float64(b.KVGiveUps))
+	numeric("kv_degraded", float64(a.KVDegraded), float64(b.KVDegraded))
+	numeric("kv_readonly", float64(a.KVReadOnly), float64(b.KVReadOnly))
 	return out
 }

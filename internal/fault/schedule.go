@@ -267,6 +267,33 @@ func (s *Schedule) Horizon() sim.Time {
 	return at
 }
 
+// PhaseWindow is one phase occurrence as an absolute half-open time
+// window [From, To). A zero To marks an open-ended final phase.
+type PhaseWindow struct {
+	Name string
+	From sim.Time
+	To   sim.Time
+}
+
+// Windows lays the schedule's phases out as absolute time windows, in
+// order — the availability reporters bucket per-request outcomes by the
+// chaos phase the request was issued under.
+func (s *Schedule) Windows() []PhaseWindow {
+	out := make([]PhaseWindow, 0, len(s.phases))
+	at := s.start
+	for i, p := range s.phases {
+		w := PhaseWindow{Name: p.name, From: at}
+		if p.dur == 0 && i == len(s.phases)-1 {
+			w.To = 0 // open-ended
+		} else {
+			w.To = at.Add(p.dur)
+			at = w.To
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
 // Compile expands the schedule against a concrete topology into a
 // fault.Spec and validates it. Phases occupy consecutive half-open
 // windows starting at the schedule's start time; within a phase, each

@@ -1,0 +1,167 @@
+package kv
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/irnsim/irn/internal/fabric"
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/topo"
+	"github.com/irnsim/irn/internal/verbs"
+)
+
+// runKV spins up a service on a single-switch star and runs it to
+// completion (or the deadline). lossFn may be nil.
+func runKV(t *testing.T, o Options, lossFn func(*packet.Packet) bool) (*Service, *Report) {
+	t.Helper()
+	o = o.WithDefaults()
+	eng := sim.NewEngine()
+	cfg := fabric.DefaultConfig()
+	cfg.LossInject = lossFn
+	hosts := 1 + o.Followers + o.Clients
+	net := fabric.New(eng, topo.NewStar(hosts), cfg)
+
+	pl := Placement{Leader: 0}
+	for j := 0; j < o.Followers; j++ {
+		pl.Followers = append(pl.Followers, packet.NodeID(1+j))
+	}
+	for i := 0; i < o.Clients; i++ {
+		pl.Clients = append(pl.Clients, packet.NodeID(1+o.Followers+i))
+	}
+
+	svc := New(net, pl, verbs.DefaultConfig(), o, 7)
+	svc.Start()
+	eng.RunUntil(sim.Time(200 * sim.Millisecond))
+	return svc, svc.Report()
+}
+
+func testOptions(mode Mode) Options {
+	return Options{
+		Requests: 48,
+		Mode:     mode,
+	}
+}
+
+func checkHealthy(t *testing.T, svc *Service, rep *Report) {
+	t.Helper()
+	if !svc.Done() {
+		t.Fatalf("service not done: %d/%d resolved", rep.Resolved, rep.Issued)
+	}
+	if rep.Resolved != uint64(len(svc.issues)) {
+		t.Fatalf("resolved %d of %d", rep.Resolved, len(svc.issues))
+	}
+	if rep.Committed == 0 {
+		t.Error("no Puts committed")
+	}
+	if rep.GetsOK == 0 {
+		t.Error("no Gets answered")
+	}
+	if rep.GiveUps != 0 || rep.ReadOnly != 0 {
+		t.Errorf("healthy fabric saw %d give-ups, %d read-only rejections", rep.GiveUps, rep.ReadOnly)
+	}
+	if rep.Availability < 0.95 {
+		t.Errorf("availability %.3f on a healthy fabric", rep.Availability)
+	}
+	if rep.Commit.N() == 0 || rep.CommitP99 == 0 {
+		t.Error("commit latency histogram empty")
+	}
+	// Replication really happened: every committed key on the leader is
+	// present on every follower with the same bytes (followers apply on
+	// arrival, so their stores are supersets of the committed state only
+	// when uncommitted tails exist — here everything committed).
+	srv := svc.leader
+	for j, f := range svc.followers {
+		for k, v := range srv.store {
+			fv, ok := f.store[k]
+			if !ok {
+				t.Fatalf("follower %d missing committed key %d", j, k)
+			}
+			if !reflect.DeepEqual(v, fv) {
+				t.Fatalf("follower %d diverged on key %d", j, k)
+			}
+		}
+	}
+}
+
+func TestKVEndToEndSend(t *testing.T) {
+	svc, rep := runKV(t, testOptions(ModeSend), nil)
+	checkHealthy(t, svc, rep)
+}
+
+func TestKVEndToEndWriteImm(t *testing.T) {
+	svc, rep := runKV(t, testOptions(ModeWriteImm), nil)
+	checkHealthy(t, svc, rep)
+}
+
+// TestKVDegradesToReadOnly severs replication (drops every data packet
+// on the leader→follower flows) and checks the failover state machine:
+// the leader must degrade, reject Puts read-only, keep serving Gets, and
+// the client whose Put is stuck in the log must exhaust its retries and
+// give up — all without hanging the run.
+func TestKVDegradesToReadOnly(t *testing.T) {
+	o := testOptions(ModeSend)
+	o = o.WithDefaults()
+	repBase := packet.FlowID(2 * o.Clients)
+	lossFn := func(pk *packet.Packet) bool {
+		return pk.Type == packet.TypeData && pk.Flow > repBase && pk.Flow%2 == 1
+	}
+	svc, rep := runKV(t, o, lossFn)
+	if !svc.Done() {
+		t.Fatalf("service hung: %d/%d resolved", rep.Resolved, rep.Issued)
+	}
+	if rep.DegradedEnters == 0 {
+		t.Error("leader never degraded despite severed replication")
+	}
+	if rep.ReadOnly == 0 {
+		t.Error("no read-only rejections while degraded")
+	}
+	if rep.GiveUps == 0 {
+		t.Error("the stuck Put's client never gave up")
+	}
+	if rep.GetsOK == 0 {
+		t.Error("degraded leader stopped serving Gets")
+	}
+}
+
+// TestKVDeterministic runs the same configuration twice and demands a
+// bit-identical report, for both wire variants.
+func TestKVDeterministic(t *testing.T) {
+	for _, mode := range []Mode{ModeSend, ModeWriteImm} {
+		_, a := runKV(t, testOptions(mode), nil)
+		_, b := runKV(t, testOptions(mode), nil)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("mode %s: reports differ across identical runs", mode)
+		}
+	}
+}
+
+// TestPlaceSpreadsReplicas checks the pod-aware placement: replicas land
+// in distinct pods, nothing collides, and oversubscription falls back to
+// shared hosts instead of spinning.
+func TestPlaceSpreadsReplicas(t *testing.T) {
+	hosts := make([]packet.NodeID, 16)
+	for i := range hosts {
+		hosts[i] = packet.NodeID(i)
+	}
+	pl := Place(hosts, 4, 2, 6)
+	if pl.Leader != 0 {
+		t.Errorf("leader = %d", pl.Leader)
+	}
+	used := map[packet.NodeID]bool{pl.Leader: true}
+	for _, h := range append(append([]packet.NodeID{}, pl.Followers...), pl.Clients...) {
+		if used[h] {
+			t.Fatalf("host %d reused", h)
+		}
+		used[h] = true
+	}
+	pod := func(h packet.NodeID) int { return int(h) / 4 }
+	if pod(pl.Followers[0]) == 0 || pod(pl.Followers[1]) == 0 || pod(pl.Followers[0]) == pod(pl.Followers[1]) {
+		t.Errorf("followers not spread across pods: %v", pl.Followers)
+	}
+	// Oversubscribed: more participants than hosts must still terminate.
+	small := Place(hosts[:4], 4, 2, 6)
+	if len(small.Clients) != 6 {
+		t.Errorf("oversubscribed placement returned %d clients", len(small.Clients))
+	}
+}

@@ -1,0 +1,814 @@
+package kv
+
+// This file is the service proper: the leader (RPC server + replication
+// driver + failover state machine), the followers (apply + ack), and the
+// clients (open-loop issue queue + timeout/backoff/give-up policy).
+//
+// Construction discipline for sharded determinism: every host-owned
+// object (QP, ring, timer) is built inside an attach event scheduled at
+// t=0 under the owning host's clock, so the owning shard creates and
+// exclusively drives it. The coordinator only reads client/leader state
+// at window barriers (Done/Horizon/Report), which the windowed runner
+// orders against all shard execution.
+
+import (
+	"github.com/irnsim/irn/internal/fabric"
+	"github.com/irnsim/irn/internal/metrics"
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+	"github.com/irnsim/irn/internal/verbs"
+)
+
+// Ring geometry. Slots comfortably exceed the maximum in-flight count
+// (clients run one outstanding request; the leader's replication window
+// is bounded by the clients'), so slot reuse never overwrites an
+// unconsumed frame.
+const (
+	reqSlots  = 16 // per-client request ring (ModeWriteImm)
+	respSlots = 16 // per-client response ring
+	logSlots  = 64 // per-follower replication log ring
+)
+
+// rkeys. Memories are per-host, so only the leader's (which serves all
+// clients) needs per-client keys.
+const (
+	rkLog  = 1 // follower memory: replication log ring
+	rkResp = 2 // client memory: response ring
+	rkReq  = 0x100
+)
+
+// Service is one configured kv deployment bound to a fabric.
+type Service struct {
+	net  *fabric.Network
+	pl   Placement
+	o    Options
+	qcfg verbs.Config
+	seed uint64
+
+	issues     []issue
+	phaseNames []string
+
+	leader    *server
+	followers []*follower
+	clients   []*client
+}
+
+// issue is one precomputed request: who issues it, when, and what.
+type issue struct {
+	client int
+	at     sim.Time
+	put    bool
+	key    uint64
+}
+
+// Service event kinds.
+const (
+	evAttachLeader uint8 = iota
+	evAttachFollower
+	evAttachClient
+	evIssue
+)
+
+// New builds a service over net with the given placement. qcfg is the
+// verbs transport configuration every QP uses (MaxRetries is forced to
+// zero: the retry budget lives in the client policy, not the transport).
+// The request schedule — arrival times, op mix, keys — is derived here,
+// deterministically, from seed.
+func New(net *fabric.Network, pl Placement, qcfg verbs.Config, o Options, seed uint64) *Service {
+	o = o.WithDefaults()
+	if len(pl.Followers) != o.Followers || len(pl.Clients) != o.Clients {
+		panic("kv: placement does not match options")
+	}
+	qcfg.MaxRetries = 0
+	s := &Service{
+		net:       net,
+		pl:        pl,
+		o:         o,
+		qcfg:      qcfg,
+		seed:      seed,
+		followers: make([]*follower, o.Followers),
+		clients:   make([]*client, o.Clients),
+	}
+	s.phaseNames = []string{"steady"}
+	for _, w := range o.Phases {
+		known := false
+		for _, n := range s.phaseNames {
+			if n == w.Name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			s.phaseNames = append(s.phaseNames, w.Name)
+		}
+	}
+	s.issues = make([]issue, o.Requests)
+	rngs := make([]*sim.RNG, o.Clients)
+	ts := make([]sim.Time, o.Clients)
+	for i := range rngs {
+		rngs[i] = sim.NewRNG(sim.DeriveSeed(seed, "kv/arrivals", i))
+		ts[i] = o.IssueStart
+	}
+	for r := range s.issues {
+		i := r % o.Clients
+		gap := sim.Duration(float64(o.IssueGap) * rngs[i].ExpFloat64())
+		ts[i] = ts[i].Add(gap)
+		s.issues[r] = issue{
+			client: i,
+			at:     ts[i],
+			put:    rngs[i].Float64() < o.PutFraction,
+			key:    uint64(rngs[i].Intn(o.KeySpace)),
+		}
+	}
+	return s
+}
+
+// slotBytes is the ring-slot size: the largest frame plus header slack.
+func (s *Service) slotBytes() int { return 32 + s.o.ValueBytes }
+
+// bucketOf maps a scheduled issue time to its phase bucket.
+func (s *Service) bucketOf(t sim.Time) int {
+	for _, w := range s.o.Phases {
+		if t >= w.From && (w.To == 0 || t < w.To) {
+			for b, n := range s.phaseNames {
+				if n == w.Name {
+					return b
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// Start schedules the attach events (t=0, one per host, under the
+// host's clock) and every request issue event, and returns the last
+// scheduled issue time (the deadline anchor).
+func (s *Service) Start() (lastIssue sim.Time) {
+	net := s.net
+	lh := s.pl.Leader
+	net.EngineOf(lh).ScheduleEventFrom(net.Clock(lh), 0, s, evAttachLeader, 0)
+	for j, h := range s.pl.Followers {
+		net.EngineOf(h).ScheduleEventFrom(net.Clock(h), 0, s, evAttachFollower, uint64(j))
+	}
+	for i, h := range s.pl.Clients {
+		net.EngineOf(h).ScheduleEventFrom(net.Clock(h), 0, s, evAttachClient, uint64(i))
+	}
+	for r := range s.issues {
+		is := &s.issues[r]
+		h := s.pl.Clients[is.client]
+		net.EngineOf(h).ScheduleEventFrom(net.Clock(h), is.at, s, evIssue, uint64(r))
+		if is.at > lastIssue {
+			lastIssue = is.at
+		}
+	}
+	return lastIssue
+}
+
+// HandleEvent implements sim.Handler; each event runs on the shard
+// owning the host it addresses.
+func (s *Service) HandleEvent(kind uint8, arg uint64) {
+	switch kind {
+	case evAttachLeader:
+		s.attachLeader()
+	case evAttachFollower:
+		s.attachFollower(int(arg))
+	case evAttachClient:
+		s.attachClient(int(arg))
+	case evIssue:
+		r := int(arg)
+		s.clients[s.issues[r].client].enqueue(r)
+	}
+}
+
+// Flow-ID layout: two flows per QP pair, clients first, then followers.
+func (s *Service) clientFlows(i int) (c2l, l2c packet.FlowID) {
+	return packet.FlowID(1 + 2*i), packet.FlowID(2 + 2*i)
+}
+
+func (s *Service) followerFlows(j int) (l2f, f2l packet.FlowID) {
+	base := 2 * s.o.Clients
+	return packet.FlowID(base + 1 + 2*j), packet.FlowID(base + 2 + 2*j)
+}
+
+// Done reports whether every request reached a terminal outcome; polled
+// at window barriers.
+func (s *Service) Done() bool {
+	var n uint64
+	for _, c := range s.clients {
+		if c == nil {
+			return false
+		}
+		n += c.st.Resolved
+	}
+	return n == uint64(len(s.issues))
+}
+
+// LastResolve returns the time the final request resolved; with the
+// fabric's window slack added it is the canonical run horizon.
+func (s *Service) LastResolve() sim.Time {
+	var last sim.Time
+	for _, c := range s.clients {
+		if c != nil && c.lastResolve > last {
+			last = c.lastResolve
+		}
+	}
+	return last
+}
+
+// TransportStats sums the verbs-level counters over every QP, in
+// deterministic order (clients, then the leader's client- and
+// follower-facing QPs, then followers).
+func (s *Service) TransportStats() (retransmits, timeouts, rnrNacks, drops uint64) {
+	add := func(q *verbs.QP) {
+		retransmits += q.Retransmits
+		timeouts += q.Timeouts
+		rnrNacks += q.RNRNacks
+		drops += q.Drops
+	}
+	for _, c := range s.clients {
+		if c != nil {
+			add(c.ep.qp)
+		}
+	}
+	if s.leader != nil {
+		for _, ep := range s.leader.chalves {
+			add(ep.qp)
+		}
+		for _, ep := range s.leader.fhalves {
+			add(ep.qp)
+		}
+	}
+	for _, f := range s.followers {
+		if f != nil {
+			add(f.ep.qp)
+		}
+	}
+	return
+}
+
+// Report aggregates the run, merging per-client state in client-index
+// order. Call only after the run completes.
+func (s *Service) Report() *Report {
+	rep := &Report{
+		Mode:      s.o.Mode.String(),
+		Clients:   s.o.Clients,
+		Followers: s.o.Followers,
+		Commit:    &metrics.Histogram{},
+		RPC:       &metrics.Histogram{},
+		Phases:    make([]PhaseStat, len(s.phaseNames)),
+	}
+	for b, n := range s.phaseNames {
+		rep.Phases[b].Name = n
+	}
+	for _, c := range s.clients {
+		if c == nil {
+			continue
+		}
+		rep.Stats.add(c.st)
+		rep.Commit.Merge(&c.commitHist)
+		rep.RPC.Merge(&c.rpcHist)
+		for b := range c.phase {
+			rep.Phases[b].Issued += c.phase[b].Issued
+			rep.Phases[b].WithinSLO += c.phase[b].WithinSLO
+		}
+	}
+	if s.leader != nil {
+		rep.DegradedEnters = s.leader.degradedEnters
+		rep.LeaderReadOnly = s.leader.readOnlyResp
+	}
+	if rep.Resolved > 0 {
+		rep.Availability = float64(rep.WithinSLO) / float64(rep.Resolved)
+	}
+	if rep.Commit.N() > 0 {
+		rep.CommitP50 = sim.Duration(rep.Commit.Quantile(50))
+		rep.CommitP99 = sim.Duration(rep.Commit.Quantile(99))
+	}
+	return rep
+}
+
+// ---------------------------------------------------------------------
+// Leader.
+
+// logEntry is one uncommitted-or-committed Put in the leader's log.
+type logEntry struct {
+	client int
+	seq    uint64
+	key    uint64
+	val    []byte
+	at     sim.Time // append time; ages against QuorumTimeout
+	acks   int
+}
+
+// cached is the per-client dedup record: the last answered request and
+// its response frame, resent verbatim on duplicate arrivals.
+type cached struct {
+	seq   uint64
+	resp  []byte
+	valid bool
+}
+
+// server is the leader: RPC endpoint, replication driver, and the
+// degraded/read-only failover state machine.
+type server struct {
+	s   *Service
+	nic *fabric.NIC
+	mem *verbs.Memory
+
+	srq     *verbs.SRQ
+	srqBufs [][]byte
+
+	chalves  []*endpoint // client-facing QPs, by client index
+	fhalves  []*endpoint // follower-facing QPs, by follower index
+	respSeq  []uint32    // per-client response ring sequence (ModeWriteImm)
+	lastDone []cached
+
+	store  map[uint64][]byte
+	log    []logEntry
+	commit int // committed prefix length
+	need   int // follower acks required per entry (quorum − leader)
+
+	degraded       bool
+	degradedEnters uint64
+	readOnlyResp   uint64
+}
+
+func (s *Service) attachLeader() {
+	nic := s.net.NIC(s.pl.Leader)
+	srv := &server{
+		s:        s,
+		nic:      nic,
+		mem:      verbs.NewMemory(),
+		chalves:  make([]*endpoint, s.o.Clients),
+		fhalves:  make([]*endpoint, s.o.Followers),
+		respSeq:  make([]uint32, s.o.Clients),
+		lastDone: make([]cached, s.o.Clients),
+		store:    make(map[uint64][]byte),
+		need:     (s.o.Followers + 1) / 2,
+	}
+	slot := s.slotBytes()
+	if s.o.Mode == ModeSend {
+		srv.srq = verbs.NewSRQ()
+		n := 4 * s.o.Clients
+		srv.srqBufs = make([][]byte, n)
+		for id := 0; id < n; id++ {
+			srv.srqBufs[id] = make([]byte, slot)
+			srv.srq.Post(uint64(id), srv.srqBufs[id])
+		}
+	}
+	for i := 0; i < s.o.Clients; i++ {
+		i := i
+		cq := &verbs.CQ{}
+		cq.OnComplete(func(e verbs.CQE) { srv.onClientCQE(i, e) })
+		out, in := s.clientFlows(i)
+		ep := attachEndpoint(nic, s.pl.Clients[i], in, out, s.qcfg, srv.mem, cq, "leader-c")
+		srv.chalves[i] = ep
+		if s.o.Mode == ModeSend {
+			ep.qp.UseSRQ(srv.srq)
+		} else {
+			srv.mem.Register(rkReq+uint32(i), make([]byte, reqSlots*slot))
+			for k := 0; k < 2*reqSlots; k++ {
+				ep.qp.PostRecv(0, nil)
+			}
+		}
+	}
+	for j := 0; j < s.o.Followers; j++ {
+		j := j
+		cq := &verbs.CQ{}
+		cq.OnComplete(func(e verbs.CQE) { srv.onFollowerCQE(j, e) })
+		out, in := s.followerFlows(j)
+		ep := attachEndpoint(nic, s.pl.Followers[j], out, in, s.qcfg, srv.mem, cq, "leader-f")
+		srv.fhalves[j] = ep
+		for k := 0; k < 2*logSlots; k++ {
+			ep.qp.PostRecv(0, nil)
+		}
+	}
+	s.leader = srv
+}
+
+// onClientCQE consumes one completion on client i's QP: requests in,
+// plus our own response-send completions (ignored).
+func (srv *server) onClientCQE(i int, e verbs.CQE) {
+	if !e.Receive {
+		return
+	}
+	var req Request
+	var err error
+	switch srv.s.o.Mode {
+	case ModeSend:
+		id := int(e.WQEID)
+		buf := srv.srqBufs[id]
+		req, _, err = UnmarshalRequest(buf[:e.Len])
+		srv.srq.Post(e.WQEID, buf) // repost the consumed SRQ WQE
+	default: // ModeWriteImm
+		slot := int(e.Imm) % reqSlots
+		ring, _ := srv.mem.Read(rkReq+uint32(i), uint64(slot*srv.s.slotBytes()), srv.s.slotBytes())
+		req, _, err = UnmarshalRequest(ring)
+		srv.chalves[i].qp.PostRecv(0, nil)
+	}
+	if err != nil {
+		return
+	}
+	srv.handle(i, req, e.At)
+}
+
+// handle processes one decoded client request on the leader.
+func (srv *server) handle(i int, req Request, now sim.Time) {
+	ld := &srv.lastDone[i]
+	if ld.valid && req.Seq == ld.seq {
+		srv.sendResp(i, ld.resp) // duplicate of the answered request
+		return
+	}
+	if ld.valid && req.Seq < ld.seq {
+		return // stale retry the client already abandoned
+	}
+	if req.Op == OpGet {
+		st := RespOK
+		val, ok := srv.store[req.Key]
+		if !ok {
+			st = RespNotFound
+		}
+		srv.reply(i, Response{Client: uint32(i), Seq: req.Seq, Status: st, Value: val})
+		return
+	}
+	// Put: drop duplicates of an entry still in flight (its response
+	// comes at commit), then run the failover state machine.
+	for k := srv.commit; k < len(srv.log); k++ {
+		if srv.log[k].client == i && srv.log[k].seq == req.Seq {
+			return
+		}
+	}
+	srv.refreshDegraded(now)
+	if srv.degraded {
+		srv.readOnlyResp++
+		srv.reply(i, Response{Client: uint32(i), Seq: req.Seq, Status: RespReadOnly})
+		return
+	}
+	idx := len(srv.log)
+	srv.log = append(srv.log, logEntry{
+		client: i,
+		seq:    req.Seq,
+		key:    req.Key,
+		val:    append([]byte(nil), req.Value...),
+		at:     now,
+	})
+	if srv.need == 0 {
+		srv.advanceCommit(now)
+		return
+	}
+	frame := MarshalRequest(nil, req)
+	slot := uint64(idx%logSlots) * uint64(srv.s.slotBytes())
+	for j := range srv.fhalves {
+		_ = srv.fhalves[j].qp.PostSend(verbs.Request{
+			ID:   uint64(idx),
+			Op:   verbs.OpWriteImm,
+			Data: frame,
+			RKey: rkLog,
+			VA:   slot,
+			Imm:  uint32(idx),
+		})
+	}
+}
+
+// refreshDegraded runs the failover state machine: recover when the
+// commit point caught up; degrade when the oldest uncommitted entry has
+// aged past the quorum timeout.
+func (srv *server) refreshDegraded(now sim.Time) {
+	if srv.commit == len(srv.log) {
+		srv.degraded = false
+		return
+	}
+	if !srv.degraded && now.Sub(srv.log[srv.commit].at) > srv.s.o.QuorumTimeout {
+		srv.degraded = true
+		srv.degradedEnters++
+	}
+}
+
+// onFollowerCQE consumes follower j's ack (a zero-length WRITE-with-imm
+// whose immediate is the log index).
+func (srv *server) onFollowerCQE(j int, e verbs.CQE) {
+	if !e.Receive {
+		return
+	}
+	srv.fhalves[j].qp.PostRecv(0, nil)
+	idx := int(e.Imm)
+	if idx >= len(srv.log) {
+		return
+	}
+	srv.log[idx].acks++
+	srv.advanceCommit(e.At)
+}
+
+// advanceCommit applies and answers the quorum-acked log prefix, and
+// clears degradation once fully caught up.
+func (srv *server) advanceCommit(now sim.Time) {
+	for srv.commit < len(srv.log) && srv.log[srv.commit].acks >= srv.need {
+		en := &srv.log[srv.commit]
+		srv.store[en.key] = en.val
+		srv.commit++
+		srv.reply(en.client, Response{Client: uint32(en.client), Seq: en.seq, Status: RespOK})
+	}
+	if srv.degraded && srv.commit == len(srv.log) {
+		srv.degraded = false
+	}
+}
+
+// reply caches the response for duplicate suppression and transmits it.
+func (srv *server) reply(i int, resp Response) {
+	frame := MarshalResponse(nil, resp)
+	srv.lastDone[i] = cached{seq: resp.Seq, resp: frame, valid: true}
+	srv.sendResp(i, frame)
+}
+
+// sendResp transmits a response frame on the chosen wire variant.
+func (srv *server) sendResp(i int, frame []byte) {
+	switch srv.s.o.Mode {
+	case ModeSend:
+		_ = srv.chalves[i].qp.PostSend(verbs.Request{Op: verbs.OpSend, Data: frame})
+	default: // ModeWriteImm
+		srv.respSeq[i]++
+		sq := srv.respSeq[i]
+		_ = srv.chalves[i].qp.PostSend(verbs.Request{
+			Op:   verbs.OpWriteImm,
+			Data: frame,
+			RKey: rkResp,
+			VA:   uint64(sq%respSlots) * uint64(srv.s.slotBytes()),
+			Imm:  sq,
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Follower.
+
+// follower applies replicated entries from its log ring and acks each
+// with a zero-length WRITE-with-imm carrying the log index.
+type follower struct {
+	s     *Service
+	j     int
+	ep    *endpoint
+	mem   *verbs.Memory
+	store map[uint64][]byte
+}
+
+func (s *Service) attachFollower(j int) {
+	nic := s.net.NIC(s.pl.Followers[j])
+	f := &follower{s: s, j: j, mem: verbs.NewMemory(), store: make(map[uint64][]byte)}
+	f.mem.Register(rkLog, make([]byte, logSlots*s.slotBytes()))
+	cq := &verbs.CQ{}
+	cq.OnComplete(f.onCQE)
+	out, in := s.followerFlows(j)
+	f.ep = attachEndpoint(nic, s.pl.Leader, in, out, s.qcfg, f.mem, cq, "follower")
+	for k := 0; k < 2*logSlots; k++ {
+		f.ep.qp.PostRecv(0, nil)
+	}
+	s.followers[j] = f
+}
+
+func (f *follower) onCQE(e verbs.CQE) {
+	if !e.Receive {
+		return
+	}
+	f.ep.qp.PostRecv(0, nil)
+	idx := int(e.Imm)
+	slot := uint64(idx%logSlots) * uint64(f.s.slotBytes())
+	ring, _ := f.mem.Read(rkLog, slot, f.s.slotBytes())
+	if en, _, err := UnmarshalRequest(ring); err == nil {
+		f.store[en.Key] = en.Value
+	}
+	_ = f.ep.qp.PostSend(verbs.Request{ID: uint64(idx), Op: verbs.OpWriteImm, Imm: uint32(idx)})
+}
+
+// ---------------------------------------------------------------------
+// Client.
+
+// phaseCount is one client's per-phase availability tally.
+type phaseCount struct {
+	Issued    uint64
+	WithinSLO uint64
+}
+
+// client runs the robustness policy: one outstanding request, a FIFO
+// backlog of scheduled issues, per-attempt timeouts, exponential backoff
+// with deterministic jitter, bounded retries, give-up.
+type client struct {
+	s     *Service
+	idx   int
+	nic   *fabric.NIC
+	ep    *endpoint
+	mem   *verbs.Memory
+	rng   *sim.RNG
+	timer *sim.Timer
+
+	recvBufs [][]byte // posted response buffers (ModeSend)
+
+	queue     []int
+	cur       int // outstanding request index; -1 when idle
+	attempt   int
+	inBackoff bool
+	seq       uint32 // wire sequence for request-ring slots
+
+	st          Stats
+	phase       []phaseCount
+	commitHist  metrics.Histogram
+	rpcHist     metrics.Histogram
+	lastResolve sim.Time
+}
+
+// ckTimer is the client's only event kind: per-attempt timeout, or
+// backoff expiry when inBackoff.
+const ckTimer uint8 = 0
+
+func (s *Service) attachClient(i int) {
+	nic := s.net.NIC(s.pl.Clients[i])
+	c := &client{
+		s:     s,
+		idx:   i,
+		nic:   nic,
+		mem:   verbs.NewMemory(),
+		rng:   sim.NewRNG(sim.DeriveSeed(s.seed, "kv/backoff", i)),
+		cur:   -1,
+		phase: make([]phaseCount, len(s.phaseNames)),
+	}
+	slot := s.slotBytes()
+	cq := &verbs.CQ{}
+	cq.OnComplete(c.onCQE)
+	out, in := s.clientFlows(i)
+	c.ep = attachEndpoint(nic, s.pl.Leader, out, in, s.qcfg, c.mem, cq, "client")
+	if s.o.Mode == ModeSend {
+		c.recvBufs = make([][]byte, 8)
+		for id := range c.recvBufs {
+			c.recvBufs[id] = make([]byte, slot)
+			c.ep.qp.PostRecv(uint64(id), c.recvBufs[id])
+		}
+	} else {
+		c.mem.Register(rkResp, make([]byte, respSlots*slot))
+		for k := 0; k < 2*respSlots; k++ {
+			c.ep.qp.PostRecv(0, nil)
+		}
+	}
+	c.timer = sim.NewHandlerTimer(nic.Engine(), nic.Clock(), c, ckTimer)
+	s.clients[i] = c
+}
+
+// enqueue hands the client a scheduled request (the evIssue event).
+func (c *client) enqueue(r int) {
+	c.st.Issued++
+	c.queue = append(c.queue, r)
+	if c.cur < 0 && !c.inBackoff {
+		c.startNext(c.nic.Now())
+	}
+}
+
+// startNext pops the backlog and transmits.
+func (c *client) startNext(now sim.Time) {
+	if len(c.queue) == 0 {
+		c.cur = -1
+		return
+	}
+	c.cur = c.queue[0]
+	c.queue = c.queue[1:]
+	c.attempt = 0
+	c.send(now)
+}
+
+// valueFor generates the deterministic Put payload for request r.
+func (c *client) valueFor(r int) []byte {
+	v := make([]byte, c.s.o.ValueBytes)
+	for i := range v {
+		v[i] = byte(r*31 + i)
+	}
+	return v
+}
+
+// send transmits the current request (attempt c.attempt) and arms the
+// per-attempt timeout.
+func (c *client) send(now sim.Time) {
+	r := c.cur
+	is := &c.s.issues[r]
+	req := Request{Client: uint32(c.idx), Seq: uint64(r), Key: is.key}
+	if is.put {
+		req.Op = OpPut
+		req.Value = c.valueFor(r)
+	}
+	if c.attempt > 0 {
+		c.st.Retries++
+	}
+	frame := MarshalRequest(nil, req)
+	switch c.s.o.Mode {
+	case ModeSend:
+		_ = c.ep.qp.PostSend(verbs.Request{ID: uint64(r), Op: verbs.OpSend, Data: frame})
+	default: // ModeWriteImm
+		c.seq++
+		_ = c.ep.qp.PostSend(verbs.Request{
+			ID:   uint64(r),
+			Op:   verbs.OpWriteImm,
+			Data: frame,
+			RKey: rkReq + uint32(c.idx),
+			VA:   uint64(c.seq%reqSlots) * uint64(c.s.slotBytes()),
+			Imm:  c.seq,
+		})
+	}
+	c.timer.Arm(c.s.o.RequestTimeout)
+}
+
+// HandleEvent implements sim.Handler: the shared timer fires either a
+// backoff expiry (resend now) or a per-attempt timeout.
+func (c *client) HandleEvent(kind uint8, arg uint64) {
+	now := c.nic.Now()
+	if c.cur < 0 {
+		return
+	}
+	if c.inBackoff {
+		c.inBackoff = false
+		c.send(now)
+		return
+	}
+	c.attempt++
+	if c.attempt > c.s.o.MaxRetries {
+		c.giveUp(now)
+		return
+	}
+	c.st.Timeouts++
+	d := c.s.o.BackoffBase * sim.Duration(1<<(c.attempt-1))
+	jitter := sim.Duration(c.rng.Uint64() % uint64(d))
+	c.inBackoff = true
+	c.timer.Arm(d/2 + jitter) // delay in [d/2, 3d/2)
+}
+
+// onCQE consumes completions on the client QP; only Receive completions
+// (responses) matter.
+func (c *client) onCQE(e verbs.CQE) {
+	if !e.Receive {
+		return
+	}
+	var resp Response
+	var err error
+	switch c.s.o.Mode {
+	case ModeSend:
+		id := int(e.WQEID)
+		buf := c.recvBufs[id]
+		resp, _, err = UnmarshalResponse(buf[:e.Len])
+		c.ep.qp.PostRecv(e.WQEID, buf)
+	default: // ModeWriteImm
+		slot := int(e.Imm) % respSlots
+		ring, _ := c.mem.Read(rkResp, uint64(slot*c.s.slotBytes()), c.s.slotBytes())
+		resp, _, err = UnmarshalResponse(ring)
+		c.ep.qp.PostRecv(0, nil)
+	}
+	if err != nil {
+		return
+	}
+	if c.cur < 0 || resp.Seq != uint64(c.cur) {
+		return // late response for a request we already moved past
+	}
+	c.resolve(resp.Status, e.At)
+}
+
+// resolve finishes the outstanding request with a response outcome.
+func (c *client) resolve(status RespStatus, now sim.Time) {
+	r := c.cur
+	c.timer.Cancel()
+	c.inBackoff = false
+	is := &c.s.issues[r]
+	lat := now.Sub(is.at) // measured from the *scheduled* issue time
+	c.st.Resolved++
+	b := c.s.bucketOf(is.at)
+	c.phase[b].Issued++
+	switch status {
+	case RespOK, RespNotFound:
+		if is.put {
+			c.st.Committed++
+			c.commitHist.Observe(int64(lat))
+		} else {
+			c.st.GetsOK++
+		}
+		c.rpcHist.Observe(int64(lat))
+		if lat <= c.s.o.SLO {
+			c.st.WithinSLO++
+			c.phase[b].WithinSLO++
+		}
+	case RespReadOnly:
+		c.st.ReadOnly++
+	}
+	if now > c.lastResolve {
+		c.lastResolve = now
+	}
+	c.cur = -1
+	c.startNext(now)
+}
+
+// giveUp abandons the outstanding request after the retry budget.
+func (c *client) giveUp(now sim.Time) {
+	r := c.cur
+	c.timer.Cancel()
+	c.inBackoff = false
+	is := &c.s.issues[r]
+	c.st.Resolved++
+	c.st.GiveUps++
+	c.phase[c.s.bucketOf(is.at)].Issued++
+	if now > c.lastResolve {
+		c.lastResolve = now
+	}
+	c.cur = -1
+	c.startNext(now)
+}

@@ -138,6 +138,14 @@ type Packet struct {
 	// whole link (a single priority class), as does the paper.
 	PauseClass uint8
 
+	// Verbs optionally carries a verbs-layer packet (*verbs.VPacket)
+	// through the fabric, so the RDMA semantics layer can run end-to-end
+	// over the simulated network. The referenced value is owned by the
+	// sending QP and is immutable after construction; receivers must
+	// extract the pointer before returning (the NIC releases the fabric
+	// packet — clearing this field — as soon as the handler returns).
+	Verbs any
+
 	// pooled marks a packet currently sitting in a Pool's free list; it
 	// exists only to catch lifecycle bugs (double release, use after
 	// release via a stale constructor) deterministically instead of as

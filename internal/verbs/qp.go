@@ -16,6 +16,19 @@ type Config struct {
 	RTOHigh  sim.Duration
 	RTOLowN  int
 	RNRDelay sim.Duration // back-off after a receiver-not-ready NACK
+
+	// GoBackN selects the baseline RoCE loss recovery instead of IRN's
+	// selective retransmission: the responder drops out-of-order
+	// arrivals (no OOO placement) and the requester rewinds the whole
+	// window from the cumulative ack on every NACK or timeout.
+	GoBackN bool
+
+	// MaxRetries bounds consecutive recovery attempts (timeouts + RNR
+	// NACKs with no cumulative progress in between). When exceeded the
+	// QP goes dead: every incomplete WQE is flushed with
+	// StatusRetryExceeded so callers get an error instead of a hang.
+	// Zero means retry forever (the pre-existing behavior).
+	MaxRetries int
 }
 
 // DefaultConfig returns sane defaults for tests and examples.
@@ -103,10 +116,17 @@ type stagedCQE struct {
 type QP struct {
 	name string
 	eng  *sim.Engine
+	clk  *sim.Clock // scheduling clock (nil = engine clock; set for sharded fabrics)
 	cfg  Config
 	wire Wire
 	mem  *Memory
 	cq   *CQ
+
+	// attempts counts recovery entries (timeouts, RNR backoffs) since
+	// the last cumulative advance; dead is set once it exceeds
+	// Config.MaxRetries and the QP has flushed its WQEs.
+	attempts int
+	dead     bool
 
 	// ---- Requester: request transmission (sPSN space, §5.4) ----
 	reqWQEs  []*reqWQE
@@ -171,12 +191,23 @@ type recvProvider interface {
 // NewQP builds a QP. wire sends packets toward the peer; mem is the
 // memory exposed to the peer; cq receives completions.
 func NewQP(name string, eng *sim.Engine, cfg Config, wire Wire, mem *Memory, cq *CQ) *QP {
+	return NewQPOn(name, eng, nil, cfg, wire, mem, cq)
+}
+
+// NewQPOn builds a QP whose internal events (retransmission timers, RNR
+// resume) are ranked by clk rather than the engine's own clock. On a
+// sharded fabric every host-owned handler must schedule through the
+// host's clock for the (time, rank) order — and therefore the results —
+// to be independent of the partition; pass the owning NIC's Clock. A nil
+// clk falls back to the engine clock (single-engine runs, tests).
+func NewQPOn(name string, eng *sim.Engine, clk *sim.Clock, cfg Config, wire Wire, mem *Memory, cq *CQ) *QP {
 	if cfg.MTU <= 0 || cfg.BDPCap <= 0 {
 		panic("verbs: bad config")
 	}
 	q := &QP{
 		name:     name,
 		eng:      eng,
+		clk:      clk,
 		cfg:      cfg,
 		wire:     wire,
 		mem:      mem,
@@ -193,8 +224,8 @@ func NewQP(name string, eng *sim.Engine, cfg Config, wire Wire, mem *Memory, cq 
 		rtxSack:  bitmap.New(4096),
 	}
 	q.recvQ = newRecvQueue()
-	q.timer = sim.NewHandlerTimer(eng, nil, q, qpTimer)
-	q.rTimer = sim.NewHandlerTimer(eng, nil, q, qpReadTimer)
+	q.timer = sim.NewHandlerTimer(eng, clk, q, qpTimer)
+	q.rTimer = sim.NewHandlerTimer(eng, clk, q, qpReadTimer)
 	return q
 }
 
@@ -240,6 +271,9 @@ func (q *QP) Expected() uint32 { return q.rxExp }
 
 // PostSend posts a Request WQE and starts transmission.
 func (q *QP) PostSend(req Request) error {
+	if q.dead {
+		return fmt.Errorf("verbs: %s: qp dead (retry budget exhausted)", q.name)
+	}
 	if req.Op == OpSendInv {
 		req.Fence = true // Appendix B.5
 	}
@@ -413,12 +447,27 @@ func (q *QP) enqueue(p *VPacket) {
 // pump transmits everything currently allowed: retransmissions first,
 // then new packets within BDP-FC.
 func (q *QP) pump() {
+	if q.dead {
+		return
+	}
 	now := q.eng.Now()
 	if now < q.rnrUntil {
 		return // backing off after an RNR NACK
 	}
+	if q.cfg.GoBackN {
+		// Go-back-N (baseline RoCE): rewind the whole window from the
+		// recovery point; every pending packet at and above it goes out
+		// again in PSN order.
+		for q.inRecov && q.retxNext < q.txNext {
+			if p, ok := q.pend[q.retxNext]; ok {
+				q.Retransmits++
+				q.wire.Send(p)
+			}
+			q.retxNext++
+		}
+	}
 	// Retransmissions (selective, §3.1).
-	for q.inRecov {
+	for !q.cfg.GoBackN && q.inRecov {
 		psn, ok := q.peekRetx()
 		if !ok {
 			break
@@ -483,13 +532,61 @@ func (q *QP) armTimer() {
 
 // onTimeout restarts recovery from the cumulative ack.
 func (q *QP) onTimeout() {
-	if q.txCum >= q.txNext {
+	if q.dead || q.txCum >= q.txNext {
 		return
 	}
 	q.Timeouts++
+	if q.bumpAttempts() {
+		return
+	}
 	q.enterRecovery()
 	q.retxNext = q.txCum
 	q.pump()
+}
+
+// bumpAttempts counts one recovery attempt against the bounded retry
+// budget; it reports true when the budget is exhausted and the QP died.
+func (q *QP) bumpAttempts() bool {
+	q.attempts++
+	if q.cfg.MaxRetries > 0 && q.attempts > q.cfg.MaxRetries {
+		q.fail(q.eng.Now())
+		return true
+	}
+	return false
+}
+
+// Dead reports whether the QP exhausted its retry budget and flushed.
+func (q *QP) Dead() bool { return q.dead }
+
+// fail kills the QP: cancel timers and flush every incomplete WQE with
+// StatusRetryExceeded, in deterministic (posted / sequence-number) order.
+func (q *QP) fail(now sim.Time) {
+	if q.dead {
+		return
+	}
+	q.dead = true
+	q.timer.Cancel()
+	q.rTimer.Cancel()
+	for _, w := range q.reqWQEs {
+		if !w.completed {
+			w.completed = true
+			q.cq.push(CQE{WQEID: w.req.ID, Op: w.req.Op, Status: StatusRetryExceeded, At: now})
+		}
+	}
+	q.reqWQEs = nil
+	// Reads/atomics already expired from reqWQEs but awaiting data:
+	// walk the read_WQE_SN space in order, never the map.
+	for sn := uint32(0); sn < q.readSSN; sn++ {
+		if w, ok := q.readsOut[sn]; ok && !w.completed {
+			w.completed = true
+			q.cq.push(CQE{WQEID: w.req.ID, Op: w.req.Op, Status: StatusRetryExceeded, At: now})
+		}
+	}
+	for _, r := range q.fenceQ {
+		q.cq.push(CQE{WQEID: r.ID, Op: r.Op, Status: StatusRetryExceeded, At: now})
+	}
+	q.fenceQ = nil
+	q.sendQ = nil
 }
 
 func (q *QP) enterRecovery() {
@@ -504,6 +601,9 @@ func (q *QP) enterRecovery() {
 
 // Receive processes a packet from the peer; the Wire calls this.
 func (q *QP) Receive(p *VPacket, now sim.Time) {
+	if q.dead {
+		return // late packets for a failed QP are dropped silently
+	}
 	switch p.BTH.Opcode {
 	case packet.OpAcknowledge:
 		q.onAck(p, false, now)

@@ -20,6 +20,7 @@ func (q *QP) onAck(p *VPacket, nack bool, now sim.Time) {
 		}
 		q.txSack.AdvanceTo(cum)
 		q.txCum = cum
+		q.attempts = 0 // cumulative progress refills the retry budget
 		if q.retxNext < cum {
 			q.retxNext = cum
 		}
@@ -38,14 +39,19 @@ func (q *QP) onAck(p *VPacket, nack bool, now sim.Time) {
 		case packet.SyndromeRNRNack:
 			// Receiver not ready: back off, then resume from the
 			// cumulative point (Appendix B.3/B.4: error NACKs trigger
-			// go-back-N).
+			// go-back-N). Each backoff spends one retry attempt.
+			if q.bumpAttempts() {
+				return
+			}
 			q.rnrUntil = now.Add(q.cfg.RNRDelay)
 			q.enterRecovery()
 			q.retxNext = q.txCum
-			q.eng.ScheduleEvent(q.rnrUntil, q, qpRNRResume, uint64(q.rnrUntil))
+			q.eng.ScheduleEventFrom(q.clk, q.rnrUntil, q, qpRNRResume, uint64(q.rnrUntil))
 			return
 		default:
-			if p.SackPSN >= q.txCum {
+			if !q.cfg.GoBackN && p.SackPSN >= q.txCum {
+				// SACK bookkeeping feeds selective retransmission only;
+				// the go-back-N baseline ignores the hint and rewinds.
 				if fresh, err := q.txSack.Set(p.SackPSN); err == nil && fresh {
 					if p.SackPSN+1 > q.highSack {
 						q.highSack = p.SackPSN + 1

@@ -24,6 +24,15 @@ func (q *QP) onRequest(p *VPacket, now sim.Time) {
 
 	ooo := psn != q.rxExp
 
+	// Go-back-N baseline: no out-of-order placement. OOO arrivals are
+	// dropped and NACKed so the requester rewinds from the cumulative
+	// point — the RoCE behavior IRN's 2-bitmap replaces.
+	if ooo && q.cfg.GoBackN {
+		q.Drops++
+		q.sendNack(psn)
+		return
+	}
+
 	// Sends need their Receive WQE to place data; if it is not there:
 	// in-order arrivals get an RNR NACK, out-of-order arrivals are
 	// silently dropped (Appendix B.3 — the probe case).

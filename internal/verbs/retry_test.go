@@ -1,0 +1,206 @@
+package verbs
+
+import (
+	"testing"
+
+	"github.com/irnsim/irn/internal/packet"
+	"github.com/irnsim/irn/internal/sim"
+)
+
+// isAck reports whether a verbs packet rides the ack/control path (and
+// so should survive a forward-path blackhole).
+func isAck(op packet.Opcode) bool {
+	switch op {
+	case packet.OpAcknowledge, packet.OpAtomicAcknowledge, packet.OpReadNack:
+		return true
+	}
+	return false
+}
+
+// newPipeCfg is newPipe with an explicit requester-side config (the B
+// side keeps defaults), for retry-policy tests.
+func newPipeCfg(t *testing.T, cfg Config) (*pipe, *QP, *QP, *CQ, *CQ, *Memory, *Memory) {
+	t.Helper()
+	eng := sim.NewEngine()
+	pp := &pipe{eng: eng, delay: 2 * sim.Microsecond}
+	memA, memB := NewMemory(), NewMemory()
+	cqA, cqB := &CQ{}, &CQ{}
+	pp.a = NewQP("A", eng, cfg, WireFunc(func(p *VPacket) { pp.deliver(p, true) }), memA, cqA)
+	pp.b = NewQP("B", eng, DefaultConfig(), WireFunc(func(p *VPacket) { pp.deliver(p, false) }), memB, cqB)
+	return pp, pp.a, pp.b, cqA, cqB, memA, memB
+}
+
+// TestSRQExhaustionRefillRecovers drains a one-buffer SRQ with three
+// SENDs: the overflow draws RNR NACKs, and once the application reposts
+// buffers the requester's RNR backoff retries must land every message
+// exactly once, in order.
+func TestSRQExhaustionRefillRecovers(t *testing.T) {
+	pp, a, b, cqA, cqB, _, _ := newPipe(t)
+	srq := NewSRQ()
+	b.UseSRQ(srq)
+	bufs := [][]byte{make([]byte, 2000), make([]byte, 2000), make([]byte, 2000)}
+	srq.Post(0, bufs[0])
+	for i := 0; i < 3; i++ {
+		if err := a.PostSend(Request{ID: uint64(10 + i), Op: OpSend, Data: fill(1500, byte(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Refill after the first RNR round-trip has surely happened.
+	pp.eng.After(400*sim.Microsecond, func() {
+		srq.Post(1, bufs[1])
+		srq.Post(2, bufs[2])
+	})
+	pp.run()
+	if b.RNRNacks == 0 {
+		t.Error("SRQ overflow produced no RNR NACKs")
+	}
+	if a.Dead() {
+		t.Fatal("requester died; RNR backoff should retry forever by default")
+	}
+	got := cqB.Poll()
+	if len(got) != 3 {
+		t.Fatalf("responder CQEs = %d, want 3", len(got))
+	}
+	for i, c := range got {
+		if c.WQEID != uint64(i) || c.Len != 1500 {
+			t.Errorf("CQE %d: consumed WQE %d len %d", i, c.WQEID, c.Len)
+		}
+	}
+	sent := cqA.Poll()
+	if len(sent) != 3 {
+		t.Fatalf("requester CQEs = %d, want 3", len(sent))
+	}
+	for _, c := range sent {
+		if c.Status != StatusOK {
+			t.Errorf("WQE %d status %v", c.WQEID, c.Status)
+		}
+	}
+}
+
+// TestRetryExhaustionFlushesWQEs blackholes the forward path with a
+// bounded retry budget: instead of hanging, the QP must go dead and
+// flush every posted WQE with StatusRetryExceeded, and reject new work.
+func TestRetryExhaustionFlushesWQEs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 2
+	pp, a, _, cqA, _, _, memB := newPipeCfg(t, cfg)
+	memB.Register(7, make([]byte, 8192))
+	pp.intercept = func(p *VPacket) (bool, sim.Duration) {
+		return !isAck(p.BTH.Opcode), 0 // drop all requester data
+	}
+	a.PostSend(Request{ID: 1, Op: OpWrite, Data: fill(1000, 1), RKey: 7})
+	a.PostSend(Request{ID: 2, Op: OpWrite, Data: fill(1000, 2), RKey: 7})
+	pp.run()
+	if !a.Dead() {
+		t.Fatal("QP still alive after exhausting its retry budget on a blackhole")
+	}
+	if a.Timeouts != uint64(cfg.MaxRetries)+1 {
+		t.Errorf("Timeouts = %d, want %d", a.Timeouts, cfg.MaxRetries+1)
+	}
+	got := cqA.Poll()
+	if len(got) != 2 {
+		t.Fatalf("flushed CQEs = %d, want 2", len(got))
+	}
+	for i, c := range got {
+		if c.WQEID != uint64(i+1) || c.Status != StatusRetryExceeded {
+			t.Errorf("CQE %d: WQE %d status %v, want StatusRetryExceeded", i, c.WQEID, c.Status)
+		}
+	}
+	if err := a.PostSend(Request{ID: 3, Op: OpWrite, Data: fill(10, 3), RKey: 7}); err == nil {
+		t.Error("PostSend on a dead QP succeeded")
+	}
+}
+
+// TestRNRExhaustionKillsQP starves a SEND of receive WQEs forever under
+// a bounded retry budget: RNR NACKs must count against the budget and
+// surface StatusRetryExceeded rather than retrying silently forever.
+func TestRNRExhaustionKillsQP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 1
+	cfg.RNRDelay = 50 * sim.Microsecond
+	pp, a, _, cqA, _, _, _ := newPipeCfg(t, cfg)
+	a.PostSend(Request{ID: 9, Op: OpSend, Data: fill(500, 4)})
+	pp.run()
+	if !a.Dead() {
+		t.Fatal("QP survived perpetual receiver-not-ready with MaxRetries=1")
+	}
+	if pp.b.RNRNacks < 2 {
+		t.Errorf("responder RNRNacks = %d, want >= 2 (initial + one retry)", pp.b.RNRNacks)
+	}
+	got := cqA.Poll()
+	if len(got) != 1 || got[0].WQEID != 9 || got[0].Status != StatusRetryExceeded {
+		t.Fatalf("flushed CQEs: %+v", got)
+	}
+}
+
+// TestAttemptsResetOnProgress drops the first two transmissions of every
+// PSN with MaxRetries=2: each delivery needs two timeouts, so the run
+// accumulates far more timeouts than the budget — but cumulative-ack
+// progress must reset the attempt counter, keeping the QP alive.
+func TestAttemptsResetOnProgress(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 2
+	pp, a, _, cqA, _, _, memB := newPipeCfg(t, cfg)
+	memB.Register(7, make([]byte, 8192))
+	tx := map[uint32]int{}
+	pp.intercept = func(p *VPacket) (bool, sim.Duration) {
+		if isAck(p.BTH.Opcode) {
+			return false, 0
+		}
+		tx[p.BTH.PSN]++
+		return tx[p.BTH.PSN] <= 2, 0
+	}
+	a.PostSend(Request{ID: 1, Op: OpWrite, Data: fill(1000, 1), RKey: 7})
+	pp.run()
+	a.PostSend(Request{ID: 2, Op: OpWrite, Data: fill(1000, 2), RKey: 7})
+	pp.eng.RunUntil(sim.Time(2 * sim.Second))
+	if a.Dead() {
+		t.Fatalf("QP died after %d timeouts; progress should reset the budget", a.Timeouts)
+	}
+	if a.Timeouts < 4 {
+		t.Errorf("Timeouts = %d, want >= 4 (two per write)", a.Timeouts)
+	}
+	got := cqA.Poll()
+	if len(got) != 2 {
+		t.Fatalf("completions = %d, want 2", len(got))
+	}
+	for _, c := range got {
+		if c.Status != StatusOK {
+			t.Errorf("WQE %d status %v", c.WQEID, c.Status)
+		}
+	}
+}
+
+// TestGoBackNDropsOutOfOrder checks the RoCE baseline path: with GoBackN
+// set, an out-of-order arrival is dropped (counted) instead of placed,
+// and the whole window is resent — yet the transfer still completes.
+func TestGoBackNDropsOutOfOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GoBackN = true
+	pp, a, b, cqA, _, _, memB := newPipeCfg(t, cfg)
+	memB.Register(7, make([]byte, 16384))
+	b.cfg.GoBackN = true
+	dropped := false
+	pp.intercept = func(p *VPacket) (bool, sim.Duration) {
+		if !isAck(p.BTH.Opcode) && p.BTH.PSN == 1 && !dropped {
+			dropped = true
+			return true, 0
+		}
+		return false, 0
+	}
+	a.PostSend(Request{ID: 1, Op: OpWrite, Data: fill(5000, 1), RKey: 7})
+	pp.run()
+	if b.Drops == 0 {
+		t.Error("go-back-N responder placed out-of-order data instead of dropping")
+	}
+	if a.Retransmits < 2 {
+		t.Errorf("Retransmits = %d; go-back-N should resend the whole tail", a.Retransmits)
+	}
+	got := cqA.Poll()
+	if len(got) != 1 || got[0].Status != StatusOK {
+		t.Fatalf("completions: %+v", got)
+	}
+	if w, ok := memB.ReadWord(7, 0); !ok || w == 0 {
+		t.Error("payload not delivered")
+	}
+}

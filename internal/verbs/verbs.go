@@ -60,6 +60,30 @@ func (o OpType) String() string {
 	}
 }
 
+// Status is the completion status of a CQE.
+type Status uint8
+
+// Completion statuses.
+const (
+	StatusOK Status = iota
+	// StatusRetryExceeded flushes a WQE whose QP exhausted its bounded
+	// retry budget (Config.MaxRetries) — the error surface a client uses
+	// to fail over instead of hanging on a dead peer.
+	StatusRetryExceeded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusRetryExceeded:
+		return "RETRY_EXCEEDED"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
 // CQE is a completion queue entry.
 type CQE struct {
 	WQEID   uint64
@@ -68,16 +92,32 @@ type CQE struct {
 	Len     int
 	Atomic  uint64 // original value returned by atomics
 	Receive bool   // true for Receive WQE completions
+	Status  Status
 	At      sim.Time
 }
 
 // CQ is a completion queue.
 type CQ struct {
 	entries []CQE
+	handler func(CQE)
 }
 
-// push appends a completion.
-func (q *CQ) push(e CQE) { q.entries = append(q.entries, e) }
+// OnComplete registers fn to be invoked synchronously for every
+// completion instead of queueing it for Poll. This is the event-driven
+// consumption mode the kv service uses: the handler runs on the QP
+// owner's simulation shard, inside the event that produced the
+// completion, so reactions (reposting receives, sending a response) are
+// scheduled through the owner's clock and stay deterministic.
+func (q *CQ) OnComplete(fn func(CQE)) { q.handler = fn }
+
+// push appends a completion, or delivers it to the OnComplete handler.
+func (q *CQ) push(e CQE) {
+	if q.handler != nil {
+		q.handler(e)
+		return
+	}
+	q.entries = append(q.entries, e)
+}
 
 // Poll drains and returns all pending completions.
 func (q *CQ) Poll() []CQE {
