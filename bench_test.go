@@ -199,6 +199,68 @@ func BenchmarkFigDCShards(b *testing.B) {
 	benchExperiment(b, e, reportPair("roce_pfc", "irn"))
 }
 
+// reportKV exposes the figkv headline: mean availability per transport
+// across the three chaos schedules (scenarios are RoCE/IRN pairs), the
+// flap-storm commit-p99 ratio, and — for sharded runs — the mean
+// barrier and widened-window counts from the shard-runtime report, so
+// the recorded baselines track barrier-cadence regressions alongside
+// wall-clock ones.
+func reportKV(b *testing.B, rs []exp.Result) {
+	var roceA, irnA float64
+	pairs := 0
+	for i := 0; i+1 < len(rs); i += 2 {
+		if rs[i].KV == nil || rs[i+1].KV == nil {
+			continue
+		}
+		roceA += rs[i].KV.Availability
+		irnA += rs[i+1].KV.Availability
+		pairs++
+	}
+	if pairs > 0 {
+		b.ReportMetric(roceA/float64(pairs), "roce_pfc_availability")
+		b.ReportMetric(irnA/float64(pairs), "irn_availability")
+	}
+	if len(rs) >= 2 && rs[0].KV != nil && rs[1].KV != nil {
+		b.ReportMetric(metrics.Ratio(rs[0].KV.CommitP99.Millis(), rs[1].KV.CommitP99.Millis()),
+			"flap_commit_p99_roce_over_irn")
+	}
+	var barriers, wide uint64
+	shardRuns := 0
+	for _, r := range rs {
+		if r.ShardStats == nil || len(r.ShardStats.Shards) < 2 {
+			continue
+		}
+		barriers += r.ShardStats.Barriers
+		wide += r.ShardStats.WideWindows
+		shardRuns++
+	}
+	if shardRuns > 0 {
+		b.ReportMetric(float64(barriers)/float64(shardRuns), "barriers_per_run")
+		b.ReportMetric(float64(wide)/float64(shardRuns), "wide_windows_per_run")
+	}
+}
+
+// BenchmarkFigKV runs the replicated-KV chaos preset (leader flap storm,
+// rolling drain, pod blackout; IRN vs RoCE+PFC). Its phases are sparse —
+// blackout stretches, client backoff — which makes it the preset where
+// the adaptive safe windows pay off most.
+func BenchmarkFigKV(b *testing.B) {
+	benchExperiment(b, exp.FigureKV(exp.BenchScale()), reportKV)
+}
+
+// BenchmarkFigKVShards is BenchmarkFigKV sharded across up to four
+// cores. cmd/benchjson derives the FigKV÷FigKVShards ns/op ratio as the
+// recorded "speedup" metric (like FigDC), and the barriers_per_run /
+// wide_windows_per_run metrics here pin the adaptive-window collapse on
+// the sparse preset in the checked-in baselines.
+func BenchmarkFigKVShards(b *testing.B) {
+	e := exp.FigureKV(exp.BenchScale())
+	for i := range e.Scenarios {
+		e.Scenarios[i].Shards = 4
+	}
+	benchExperiment(b, e, reportKV)
+}
+
 func BenchmarkIncastCrossTraffic(b *testing.B) {
 	benchExperiment(b, exp.IncastCrossTraffic(exp.BenchScale()), func(b *testing.B, rs []exp.Result) {
 		if len(rs) >= 2 && rs[0].RCT > 0 {

@@ -59,6 +59,7 @@ func main() {
 		overheads = flag.Bool("worst-overheads", false, "model the §6.3 worst-case overheads")
 		trials    = flag.Int("trials", 1, "repeat the scenario under derived seeds")
 		shards    = flag.Int("shards", 1, "split the single run across this many cores (bit-identical results)")
+		shardInfo = flag.Bool("shard-stats", false, "print the windowed runtime's shard report (barriers, windows, wait time)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trial workers")
 		out       = flag.String("out", "", "persist results as JSON (merging into an existing file)")
 
@@ -305,6 +306,18 @@ func main() {
 	}
 	fmt.Printf("simulator      %d events in %v (%.1fM events/s)\n",
 		events, wall.Round(time.Millisecond), float64(events)/wall.Seconds()/1e6)
+
+	if *shardInfo {
+		if st := r.ShardStats; st != nil {
+			fmt.Printf("windows        lookahead=%v barriers=%d wide=%d shards=%d\n",
+				st.Lookahead, st.Barriers, st.WideWindows, len(st.Shards))
+			for i, sh := range st.Shards {
+				fmt.Printf("shard %-2d       windows=%d events=%d drained=%d barrier_wait=%v\n",
+					i, sh.Windows, sh.Events, sh.Drained,
+					time.Duration(sh.BarrierWaitNs).Round(time.Microsecond))
+			}
+		}
+	}
 
 	if *out != "" {
 		st := exp.NewStore()

@@ -57,6 +57,7 @@ func (w *Worker) runKV(s Scenario, net *fabric.Network, engines []*sim.Engine, t
 	if s.BareLookahead {
 		lookahead = s.Prop
 	}
+	var wstats sim.WindowStats
 	sim.RunWindows(sim.WindowConfig{
 		Engines:   engines,
 		Lookahead: lookahead,
@@ -66,6 +67,9 @@ func (w *Worker) runKV(s Scenario, net *fabric.Network, engines []*sim.Engine, t
 		Horizon: func() sim.Time {
 			return svc.LastResolve().Add(net.WindowSlack())
 		},
+		Widen:        svc.Widen,
+		FixedWindows: s.FixedWindows,
+		Stats:        &wstats,
 	})
 
 	res := Result{
@@ -84,6 +88,7 @@ func (w *Worker) runKV(s Scenario, net *fabric.Network, engines []*sim.Engine, t
 			res.SimTime = t
 		}
 	}
+	res.ShardStats = buildShardStats(net, lookahead, &wstats)
 	// The FCT collector surface stays wired (empty — no flows ran) so the
 	// differential and store paths treat kv results uniformly.
 	agg := &metrics.Collector{}

@@ -3,6 +3,8 @@ package exp
 import (
 	"reflect"
 	"testing"
+
+	"github.com/irnsim/irn/internal/kv"
 )
 
 // figkvScenario pulls one scenario of the figkv preset at a test scale.
@@ -103,5 +105,42 @@ func TestFigKVIRNBeatsRoCEUnderFlap(t *testing.T) {
 	if irn.KV.CommitP99 >= roce.KV.CommitP99 {
 		t.Errorf("commit p99: IRN %v vs RoCE %v, want IRN strictly lower",
 			irn.KV.CommitP99, roce.KV.CommitP99)
+	}
+}
+
+// TestKVMarginalAllocs pins the steady-state allocation cost of the kv
+// datapath. Fabric and service construction dominate any single run, so
+// the assertion is on the *marginal* cost: the allocation difference
+// between a 2R-request run and an R-request run, divided by R. The
+// ring-delivery paths decode in place (verbs.Memory.View), the Put
+// payload comes from a per-client scratch, and the NIC egress queue
+// recycles its array, so what remains per request is the wire frames
+// (which verbs retains for retransmission and cannot pool), their
+// VPackets, and the decoded value copies — a small constant. A
+// regression that copies per delivery or reallocates per queue head
+// multiplies it.
+func TestKVMarginalAllocs(t *testing.T) {
+	measure := func(requests int) float64 {
+		s := Scenario{
+			Name:      "kv-alloc",
+			Transport: TransportIRN,
+			Seed:      7,
+			KV:        kv.Options{Requests: requests, Mode: kv.ModeWriteImm},
+		}
+		return testing.AllocsPerRun(2, func() { Run(s) })
+	}
+	const r = 60
+	base := measure(r)
+	double := measure(2 * r)
+	perReq := (double - base) / r
+	t.Logf("allocs: %.0f @ %d requests, %.0f @ %d, marginal %.1f/request", base, r, double, 2*r, perReq)
+	// Measured ~56 allocs/request after the in-place decode work; the
+	// budget leaves ~50% headroom so only a structural regression (a new
+	// per-delivery copy, per-head queue realloc) trips it, not noise.
+	if perReq > 84 {
+		t.Fatalf("marginal kv allocation cost %.1f allocs/request exceeds the 84 budget", perReq)
+	}
+	if perReq <= 0 {
+		t.Fatalf("marginal kv allocation cost %.1f/request — the workload did not scale", perReq)
 	}
 }

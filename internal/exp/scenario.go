@@ -188,6 +188,16 @@ type Scenario struct {
 	// differential test asserts; like Shards and ExactMetrics it is
 	// excluded from the store fingerprint.
 	BareLookahead bool
+
+	// FixedWindows disables the adaptive safe-window extension (see
+	// sim.RunWindows): every window spans exactly one lookahead past the
+	// global minimum, paying a barrier per window even through sparse
+	// phases. Results are bit-identical either way — the Done horizon
+	// pins the executed-event set independently of window boundaries —
+	// so, like Shards and BareLookahead, it is excluded from the store
+	// fingerprint. The barrier-count regression tests set it to measure
+	// the collapse the adaptive extension buys.
+	FixedWindows bool
 }
 
 // normalize fills defaults.
@@ -294,6 +304,66 @@ type Result struct {
 	// KV is the replicated key-value service report, set only when the
 	// scenario ran the kv workload (Scenario.KV.Requests > 0).
 	KV *kv.Report
+	// ShardStats is the shard-runtime report for the run: the lookahead
+	// in force, barrier counts and per-shard window/event/drain
+	// counters. BarrierWaitNs is wall-clock — like MetricsBytes it
+	// varies run to run, so the determinism tests strip the whole
+	// report. Not persisted by the store.
+	ShardStats *ShardStats
+}
+
+// ShardStats reports how the conservative windowed runtime behaved for
+// one run: which lookahead was in force, how many barriers the run paid,
+// how many windows the adaptive extension widened, and what each shard
+// did between barriers. Surfaced by `irnsim -shard-stats` and the bench
+// suite's ReportMetric columns.
+type ShardStats struct {
+	// Lookahead is the safe-window width in force (the fabric's proven
+	// bound, or bare Prop under Scenario.BareLookahead).
+	Lookahead sim.Duration
+	// Barriers is the number of window barriers the run paid and
+	// WideWindows how many of those adaptively extended a shard's window
+	// past the uniform lookahead bound.
+	Barriers    uint64
+	WideWindows uint64
+	// Shards holds one entry per shard engine, index-aligned with the
+	// partitioning.
+	Shards []ShardStat
+}
+
+// buildShardStats folds the windowed runtime's counters and the fabric's
+// per-shard boundary drain counts into the Result's shard-runtime report.
+func buildShardStats(net *fabric.Network, lookahead sim.Duration, w *sim.WindowStats) *ShardStats {
+	st := &ShardStats{
+		Lookahead:   lookahead,
+		Barriers:    w.Barriers,
+		WideWindows: w.WideWindows,
+		Shards:      make([]ShardStat, len(w.Shards)),
+	}
+	for i, sh := range w.Shards {
+		st.Shards[i] = ShardStat{
+			Windows:       sh.Windows,
+			Events:        sh.Events,
+			BarrierWaitNs: sh.BarrierWaitNs,
+			Drained:       net.DrainedBy(i),
+		}
+	}
+	return st
+}
+
+// ShardStat is one shard's runtime counters.
+type ShardStat struct {
+	// Windows is the number of non-empty windows the shard ran and
+	// Events how many events those windows executed.
+	Windows uint64
+	Events  uint64
+	// BarrierWaitNs is wall-clock time the shard's goroutine spent
+	// parked at barriers waiting for work — load-imbalance made visible.
+	// Nondeterministic by nature.
+	BarrierWaitNs int64
+	// Drained counts cross-shard boundary occurrences (packets and PFC
+	// frames) drained into this shard at barriers.
+	Drained uint64
 }
 
 // senderStats abstracts per-transport counters.
@@ -587,13 +657,17 @@ func (w *Worker) Run(s Scenario) Result {
 		lookahead = s.Prop
 	}
 	deadline := lastArrival.Add(s.Grace)
+	var wstats sim.WindowStats
 	sim.RunWindows(sim.WindowConfig{
-		Engines:   engines,
-		Lookahead: lookahead,
-		Deadline:  deadline,
-		Drain:     net.DrainAll,
-		Done:      l.allDone,
-		Horizon:   l.horizon,
+		Engines:      engines,
+		Lookahead:    lookahead,
+		Deadline:     deadline,
+		Drain:        net.DrainAll,
+		Done:         l.allDone,
+		Horizon:      l.horizon,
+		Widen:        l.widen,
+		FixedWindows: s.FixedWindows,
+		Stats:        &wstats,
 	})
 
 	res := Result{
@@ -612,6 +686,7 @@ func (w *Worker) Run(s Scenario) Result {
 			res.SimTime = t
 		}
 	}
+	res.ShardStats = buildShardStats(net, lookahead, &wstats)
 	var incastDone sim.Time
 	for i := range l.shard {
 		if t := l.shard[i].incastDone; t > incastDone {
@@ -667,7 +742,13 @@ type launcherShard struct {
 	done       int      // flows whose destination lives on this shard
 	incastDone sim.Time // latest incast completion seen on this shard
 	lastDone   sim.Time // latest completion of any flow on this shard
-	_          [5]uint64
+	// stopTarget, when positive, is the done count at which this shard
+	// self-stops its engine: the widen grant's promise that the shard
+	// halts no later than the run's Done condition turning true. Written
+	// by the coordinator at barriers (widen), read by the shard during
+	// windows (FlowDone) — barrier ordering covers both.
+	stopTarget int
+	_          [4]uint64
 }
 
 // launcher wires each flow's transports at the flow's arrival time and
@@ -737,6 +818,35 @@ func (l *launcher) FlowDone(fl *transport.Flow, now sim.Time) {
 		sh.lastDone = now
 	}
 	sh.done++
+	if sh.stopTarget > 0 && sh.done >= sh.stopTarget {
+		// An adaptively widened window is in force and this shard just
+		// hit the flow count that makes the run's Done condition true:
+		// stop the engine so the barrier can evaluate it. The engine may
+		// resume in later windows if the snapshot was stale.
+		l.net.EngineOf(fl.Dst).Stop()
+	}
+}
+
+// widen is the sim.WindowConfig.Widen hook: consulted at a barrier when
+// shard is the unique minimum-holding shard and the run could extend its
+// window past the uniform lookahead bound. The grant's obligation is a
+// self-stop firing no later than allDone turning true, so the extension
+// cannot run past the completion the Done horizon would clamp to: allDone
+// is a pure flow count, so the hook arms shard's stopTarget at "every
+// flow not yet done elsewhere" — exactly the count at which this shard's
+// completions make allDone true. Stale snapshots are safe: if other
+// shards complete flows during the widened window, the global last
+// completion only moves later, and the horizon still covers the window.
+func (l *launcher) widen(shard int) bool {
+	others := 0
+	for i := range l.shard {
+		if i != shard {
+			others += l.shard[i].done
+			l.shard[i].stopTarget = 0
+		}
+	}
+	l.shard[shard].stopTarget = len(l.specs) - others
+	return true
 }
 
 // horizon is the sim.WindowConfig.Horizon hook: once every flow has

@@ -29,6 +29,10 @@ func stripShards(r Result) Result {
 	// with the shard count.
 	r.MetricsBytes = 0
 	r.ShardsUsed = 0
+	// The shard-runtime report is all wall-clock and partitioning
+	// reflections: barrier counts, per-shard window/event splits,
+	// wait-time nanoseconds.
+	r.ShardStats = nil
 	return r
 }
 
@@ -92,6 +96,13 @@ func TestShardWorkerReuse(t *testing.T) {
 	for i, s := range seq {
 		fresh := Run(s)
 		reused := w.Run(s)
+		// Barrier wait times are wall-clock; every other shard-runtime
+		// counter (barriers, windows, events, drains) must reproduce.
+		for _, r := range []*Result{&fresh, &reused} {
+			for k := range r.ShardStats.Shards {
+				r.ShardStats.Shards[k].BarrierWaitNs = 0
+			}
+		}
 		if !reflect.DeepEqual(fresh, reused) {
 			t.Fatalf("step %d (%s): sharded worker reuse diverged from fresh run", i, s.Name)
 		}
@@ -108,7 +119,88 @@ func TestFleetShardArbitration(t *testing.T) {
 	e := Experiment{ID: "arb", Scenarios: []Scenario{mk("a", 4), mk("b", 4)}}
 	wide := RunFleet(e, FleetConfig{Parallel: 64})
 	serial := RunFleet(e, FleetConfig{Parallel: 1})
+	for _, fr := range []*FleetResult{&wide, &serial} {
+		for _, trials := range fr.Trials {
+			for i := range trials {
+				// Wall-clock; the sibling counters stay in the compare.
+				for k := range trials[i].ShardStats.Shards {
+					trials[i].ShardStats.Shards[k].BarrierWaitNs = 0
+				}
+			}
+		}
+	}
 	if !reflect.DeepEqual(wide.Trials, serial.Trials) {
 		t.Fatal("capped fleet diverged from serial fleet")
 	}
+}
+
+// TestAdaptiveWindowsCollapseBarriers pins the adaptive safe-window
+// extension's payoff at 4 shards, asserted through the shard-stats
+// counters. Two regimes:
+//
+//   - Saturated fabrics (figscale, figdc): every shard holds events
+//     inside every lookahead window, so span/lookahead barriers is the
+//     conservative floor and no sound windowing can beat it by much. The
+//     extension must engage (wide windows granted), never pay MORE
+//     barriers than fixed windows, and leave the Result bit-identical —
+//     the Done horizon pins the executed-event set regardless of window
+//     boundaries.
+//
+//   - Sparse phases (the figkv chaos scenarios: blackouts, flaps, client
+//     backoff stretches): the extension must collapse the barrier count
+//     measurably — at least 10% below the fixed-window run, against the
+//     19–37% observed — because a lone shard holding the next timer
+//     event no longer drags every other shard through empty
+//     lookahead-wide windows.
+func TestAdaptiveWindowsCollapseBarriers(t *testing.T) {
+	sc := shardScale()
+	compare := func(t *testing.T, s Scenario) (bf, ba uint64) {
+		t.Helper()
+		s.Shards = 4
+		fixed := s
+		fixed.FixedWindows = true
+		rf := Run(fixed)
+		ra := Run(s)
+
+		af, aa := stripShards(rf), stripShards(ra)
+		af.Scenario.FixedWindows = false
+		if !reflect.DeepEqual(af, aa) {
+			t.Fatalf("%s: adaptive windows changed the Result", s.Name)
+		}
+		if rf.ShardStats.WideWindows != 0 {
+			t.Fatalf("%s: fixed run reports %d widened windows, want 0",
+				s.Name, rf.ShardStats.WideWindows)
+		}
+		if ra.ShardStats.WideWindows == 0 {
+			t.Fatalf("%s: adaptive run widened no windows", s.Name)
+		}
+		bf, ba = rf.ShardStats.Barriers, ra.ShardStats.Barriers
+		t.Logf("%s: barriers fixed=%d adaptive=%d (%.0f%%), wide=%d",
+			s.Name, bf, ba, 100*float64(ba)/float64(bf), ra.ShardStats.WideWindows)
+		return bf, ba
+	}
+
+	for _, e := range []Experiment{FigureScale(sc), FigureDC(sc)} {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			for _, s := range e.Scenarios {
+				bf, ba := compare(t, s)
+				if ba > bf {
+					t.Fatalf("%s: adaptive run paid %d barriers vs fixed %d — extension made it worse",
+						s.Name, ba, bf)
+				}
+			}
+		})
+	}
+	t.Run("figkv", func(t *testing.T) {
+		t.Parallel()
+		for _, s := range FigureKV(sc).Scenarios {
+			bf, ba := compare(t, s)
+			if ba*10 > bf*9 {
+				t.Fatalf("%s: adaptive run paid %d barriers vs fixed %d — want at least a 10%% collapse",
+					s.Name, ba, bf)
+			}
+		}
+	})
 }

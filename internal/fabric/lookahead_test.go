@@ -68,10 +68,12 @@ func TestLookaheadMatchesAnalyticMinimum(t *testing.T) {
 	}
 }
 
-// TestLookaheadPFCFallsBackToProp: PFC pause frames are pushed at
-// generation with zero serialization delay, so a PFC-enabled fabric with
-// cut links cannot claim the serialization widening.
-func TestLookaheadPFCFallsBackToProp(t *testing.T) {
+// TestLookaheadPFCWidened: PFC pause frames serialize like any other
+// fixed-size control frame (sendPFC folds the ControlFrame delay into
+// the arrival time), so a PFC-enabled fabric with cut links gets the
+// same prop+serMin widening as everything else — no bare-propagation
+// fallback remains.
+func TestLookaheadPFCWidened(t *testing.T) {
 	tree := topo.NewFatTree(4)
 	cfg := testConfig()
 	cfg.PFC = true
@@ -81,8 +83,15 @@ func TestLookaheadPFCFallsBackToProp(t *testing.T) {
 		engs[i] = sim.NewEngine()
 	}
 	net := NewPartitioned(engs, assign, tree, cfg)
-	if got := net.Lookahead(); got != cfg.Prop {
-		t.Errorf("PFC Lookahead() = %d, want bare propagation %d", got, cfg.Prop)
+	want, cut := analyticLookahead(tree, assign, cfg)
+	if !cut {
+		t.Fatal("no cut links in a multi-shard partitioning")
+	}
+	if got := net.Lookahead(); got != want {
+		t.Errorf("PFC Lookahead() = %d, want analytic minimum %d", got, want)
+	}
+	if got := net.Lookahead(); got <= cfg.Prop {
+		t.Errorf("PFC Lookahead() = %d not widened past bare propagation %d", got, cfg.Prop)
 	}
 }
 

@@ -29,6 +29,11 @@ type partition struct {
 	census    Census
 	downPorts int
 
+	// drained counts boundary occurrences drained into this partition's
+	// engine across the run — shard-runtime observability (Result.
+	// ShardStats). Written only by the coordinator at barriers.
+	drained uint64
+
 	// inbox lists the boundary channels this partition consumes; kept
 	// for reset bookkeeping and diagnostics.
 	inbox []*linkChan
@@ -181,13 +186,15 @@ func minWire() int {
 // lookahead is seed- and fault-independent, which is why Reset never
 // recomputes it.
 //
-// PFC is the exception: pause/resume frames cross cut links with zero
-// serialization (sendPFC pushes at generation, due prop later), so a
-// PFC-enabled fabric keeps the bare-propagation lookahead.
+// PFC frames are no exception: pause/resume frames are fixed-size
+// control frames whose serialization (sendPFC folds it into the arrival
+// delay at generation time) is at least serMin, so a PFC-enabled fabric
+// gets the same widened bound as any other — a frame generated at g >= T
+// lands at g + ser(ControlFrame) + prop >= T + serMin + prop.
 //
-// slack is the same bound ignoring the partitioning and PFC: the widest
-// window any configuration of this fabric could use, canonical across
-// shard counts and lookahead choices — the Done-horizon slack (see
+// slack is the same bound ignoring the partitioning: the widest window
+// any configuration of this fabric could use, canonical across shard
+// counts and lookahead choices — the Done-horizon slack (see
 // WindowSlack).
 func (net *Network) computeLookahead() {
 	serMin := net.Cfg.Rate.Serialize(minWire())
@@ -204,16 +211,13 @@ func (net *Network) computeLookahead() {
 			cut, la = true, cand
 		}
 	}
-	switch {
-	case !cut:
+	if !cut {
 		// No cut links (single shard): windows are bounded only by the
 		// canonical slack.
 		net.lookahead = net.slack
-	case net.Cfg.PFC:
-		net.lookahead = net.Cfg.Prop
-	default:
-		net.lookahead = la
+		return
 	}
+	net.lookahead = la
 }
 
 // Lookahead reports the safe-window width this partitioning supports —
@@ -266,6 +270,7 @@ func (net *Network) wire(from, to packet.NodeID, flt *fault.Link) *outPort {
 			from: from,
 			eng:  consumer.eng,
 			clk:  clk,
+			net:  net,
 			part: consumer,
 			prod: net.parts[net.partOf[from]],
 			flt:  flt,
@@ -345,6 +350,7 @@ func (net *Network) Reset(seed uint64, faults *fault.Model) {
 		p.stats = Stats{}
 		p.census = Census{}
 		p.downPorts = 0
+		p.drained = 0
 	}
 	for _, c := range net.chans {
 		c.reset()
@@ -400,6 +406,11 @@ func (net *Network) EngineOf(n packet.NodeID) *sim.Engine { return net.parts[net
 // launcher's flow arrivals) rank their events under the node they touch,
 // keeping the canonical order shard-invariant.
 func (net *Network) Clock(n packet.NodeID) *sim.Clock { return &net.clks[n] }
+
+// DrainedBy reports how many boundary occurrences have been drained into
+// shard i's engine so far this run — a shard-runtime diagnostic (zero on
+// a single-shard fabric, which has no boundary channels).
+func (net *Network) DrainedBy(i int) uint64 { return net.parts[i].drained }
 
 // DrainAll moves every pending inbound cross-shard event into its
 // consumer engine — the sim.RunWindows barrier hook. Must only run while
@@ -489,24 +500,31 @@ const (
 
 // sendPFC delivers a PFC frame from a switch to neighbor `to`. PFC frames
 // are link-local flow control below the packet queues: they are modelled
-// as arriving one propagation delay after generation, without competing
-// for queue space. The configured headroom absorbs the data still in
-// flight during that delay plus the packet being serialized. A frame
-// crossing a shard boundary rides the from→to link's channel; either way
-// it is ranked under the generating switch's clock, so serial and sharded
-// runs order it identically.
+// as arriving one control-frame serialization plus one propagation delay
+// after generation, without competing for queue space. The configured
+// headroom absorbs the data still in flight during that delay plus the
+// packet being serialized. A frame crossing a shard boundary rides the
+// from→to link's channel; either way it is ranked under the generating
+// switch's clock, so serial and sharded runs order it identically.
+//
+// Folding the ControlFrame serialization into the arrival delay here is
+// what keeps PFC fabrics on the widened prop+serMin lookahead: every
+// frame that can cross a cut link — data, ACK family, PFC — is now due
+// at least serMin+prop after the instant it is pushed, so
+// computeLookahead needs no PFC special case.
 func (net *Network) sendPFC(from, to packet.NodeID, pause bool) {
 	sw := net.nodes[from].(*Switch)
 	port := &sw.out[sw.portOf[to]].port
+	delay := net.Cfg.Rate.Serialize(packet.ControlFrame) + net.Cfg.Prop
 	if port.xchan != nil {
-		port.xchan.sendPFC(port.eng.Now().Add(net.Cfg.Prop), pause)
+		port.xchan.sendPFC(port.eng.Now().Add(delay), pause)
 		return
 	}
 	arg := uint64(uint32(from))<<33 | uint64(uint32(to))<<1
 	if pause {
 		arg |= 1
 	}
-	port.eng.AfterEventFrom(port.clk, net.Cfg.Prop, net, netPFC, arg)
+	port.eng.AfterEventFrom(port.clk, delay, net, netPFC, arg)
 }
 
 // HandleEvent implements sim.Handler: PFC frame arrival or a fault-model

@@ -20,14 +20,17 @@ import (
 // serialization *start* and due one serialization plus one propagation
 // delay out (the early push is what lets the lookahead include the
 // minimum frame serialization — see Network.computeLookahead), and PFC
-// frames, pushed at generation and due one propagation delay out (which
-// is why a PFC-enabled fabric keeps the bare-propagation lookahead).
+// frames, pushed at generation and due one ControlFrame serialization
+// plus one propagation delay out — at least serMin+prop, like every
+// other frame, which is what keeps PFC fabrics on the widened lookahead.
 //
 // Occurrence pushes are *nearly* sorted by (at, rank) — ranks are one
 // clock's sequence, and due times grow with push time — with one
 // exception: a PFC frame generated while a data packet is serializing on
-// the same direction is pushed after it but due before it (the frame
-// skips serialization). The consumer therefore does not pop a FIFO head;
+// the same direction is pushed after it but may be due before it (the
+// frame bypasses the packet queue, and its 64-byte serialization is far
+// shorter than a data packet's). The consumer therefore does not pop a
+// FIFO head;
 // each drained occurrence's engine event carries the occurrence's
 // absolute index as its argument, so firing order and push order are
 // free to differ.
@@ -42,6 +45,7 @@ type linkChan struct {
 	from packet.NodeID // transmitting node (receive/pfcFrame source)
 	eng  *sim.Engine   // consumer shard's engine
 	clk  *sim.Clock    // producing node's clock
+	net  *Network      // owning fabric, for the producer window clamp
 
 	// part is the consumer partition: boundary fault deaths count in its
 	// stats/census and release into its pool, the same side an interior
@@ -99,25 +103,33 @@ type chanEntry struct {
 }
 
 // mark registers the channel on the producer partition's dirty list on
-// its first push since the last drain. Runs on the producing shard.
-func (c *linkChan) mark() {
+// its first push since the last drain, and clamps the producer's current
+// safe window: the occurrence arrives at the consumer at time at, and
+// nothing the consumer does with it can influence the producer earlier
+// than at plus the fabric's minimum cross-shard latency (one propagation
+// plus the smallest frame serialization — the window slack). An
+// adaptively widened window (see sim.RunWindows) must therefore end by
+// at + slack, or the bounce-back could land in this shard's executed
+// past. Runs on the producing shard.
+func (c *linkChan) mark(at sim.Time) {
 	if !c.queued {
 		c.queued = true
 		c.prod.dirty = append(c.prod.dirty, c)
 	}
+	c.prod.eng.LimitWindow(at.Add(c.net.slack))
 }
 
 // send pushes a packet arrival due at. Called by the producing port at
 // serialization start, in place of scheduling portDeliver.
 func (c *linkChan) send(at sim.Time, pkt *packet.Packet) {
-	c.mark()
+	c.mark(at)
 	c.inbox = append(c.inbox, chanEntry{at: at, rank: c.clk.Next(), pkt: pkt})
 	c.sent++
 }
 
 // sendPFC pushes a PFC frame due at.
 func (c *linkChan) sendPFC(at sim.Time, pause bool) {
-	c.mark()
+	c.mark(at)
 	c.inbox = append(c.inbox, chanEntry{at: at, rank: c.clk.Next(), pause: pause})
 }
 
@@ -150,6 +162,7 @@ func (c *linkChan) drain() {
 	}
 	c.inbox = c.inbox[:0]
 	c.pending += len(c.batch)
+	c.part.drained += uint64(len(c.batch))
 	c.eng.ScheduleRankedBatch(c, c.batch)
 }
 

@@ -51,6 +51,44 @@ type Service struct {
 	leader    *server
 	followers []*follower
 	clients   []*client
+	// shard[k] is shard k's resolution bookkeeping, written by that
+	// shard's clients during windows and read (and armed) by the
+	// coordinator at barriers — the same split-ownership discipline as
+	// the flow launcher's per-shard slots.
+	shard []kvShard
+}
+
+// kvShard is one shard's completion counters for the windowed runtime's
+// adaptive extension. target, when positive, is the shard-local resolved
+// count at which the shard self-stops its engine — the Widen grant's
+// promise that the shard halts no later than Done turning true. Padded
+// so two shards' counters never share a cache line.
+type kvShard struct {
+	resolved uint64
+	target   uint64
+	_        [6]uint64
+}
+
+// Widen is the sim.WindowConfig.Widen hook: consulted at a barrier when
+// shard uniquely holds the minimum pending event and its window could
+// extend past the uniform lookahead bound. Done is a pure resolved
+// count, so the grant arms shard's target at "every request not yet
+// resolved elsewhere" — exactly the count at which this shard's
+// resolutions make Done true — and clears every other shard's target.
+// If shard hosts no clients the target is unreachable and the run falls
+// back to the deadline exit, identical to fixed windows; if other
+// shards resolve requests during the widened window, the global last
+// resolve only moves later and the horizon still covers the window.
+func (s *Service) Widen(shard int) bool {
+	var others uint64
+	for k := range s.shard {
+		if k != shard {
+			others += s.shard[k].resolved
+			s.shard[k].target = 0
+		}
+	}
+	s.shard[shard].target = uint64(len(s.issues)) - others
+	return true
 }
 
 // issue is one precomputed request: who issues it, when, and what.
@@ -88,6 +126,7 @@ func New(net *fabric.Network, pl Placement, qcfg verbs.Config, o Options, seed u
 		seed:      seed,
 		followers: make([]*follower, o.Followers),
 		clients:   make([]*client, o.Clients),
+		shard:     make([]kvShard, net.Shards()),
 	}
 	s.phaseNames = []string{"steady"}
 	for _, w := range o.Phases {
@@ -401,7 +440,9 @@ func (srv *server) onClientCQE(i int, e verbs.CQE) {
 		srv.srq.Post(e.WQEID, buf) // repost the consumed SRQ WQE
 	default: // ModeWriteImm
 		slot := int(e.Imm) % reqSlots
-		ring, _ := srv.mem.Read(rkReq+uint32(i), uint64(slot*srv.s.slotBytes()), srv.s.slotBytes())
+		// Zero-copy: UnmarshalRequest copies the value out, so the ring
+		// bytes are done with before the next slot write can land.
+		ring, _ := srv.mem.View(rkReq+uint32(i), uint64(slot*srv.s.slotBytes()), srv.s.slotBytes())
 		req, _, err = UnmarshalRequest(ring)
 		srv.chalves[i].qp.PostRecv(0, nil)
 	}
@@ -448,8 +489,10 @@ func (srv *server) handle(i int, req Request, now sim.Time) {
 		client: i,
 		seq:    req.Seq,
 		key:    req.Key,
-		val:    append([]byte(nil), req.Value...),
-		at:     now,
+		// UnmarshalRequest allocated this value fresh; the log entry
+		// takes ownership instead of copying it a second time.
+		val: req.Value,
+		at:  now,
 	})
 	if srv.need == 0 {
 		srv.advanceCommit(now)
@@ -571,7 +614,7 @@ func (f *follower) onCQE(e verbs.CQE) {
 	f.ep.qp.PostRecv(0, nil)
 	idx := int(e.Imm)
 	slot := uint64(idx%logSlots) * uint64(f.s.slotBytes())
-	ring, _ := f.mem.Read(rkLog, slot, f.s.slotBytes())
+	ring, _ := f.mem.View(rkLog, slot, f.s.slotBytes())
 	if en, _, err := UnmarshalRequest(ring); err == nil {
 		f.store[en.Key] = en.Value
 	}
@@ -593,6 +636,7 @@ type phaseCount struct {
 type client struct {
 	s     *Service
 	idx   int
+	shard int // owning shard: index into Service.shard
 	nic   *fabric.NIC
 	ep    *endpoint
 	mem   *verbs.Memory
@@ -600,6 +644,7 @@ type client struct {
 	timer *sim.Timer
 
 	recvBufs [][]byte // posted response buffers (ModeSend)
+	val      []byte   // Put-payload scratch, rewritten per send
 
 	queue     []int
 	cur       int // outstanding request index; -1 when idle
@@ -623,6 +668,7 @@ func (s *Service) attachClient(i int) {
 	c := &client{
 		s:     s,
 		idx:   i,
+		shard: s.net.ShardOf(s.pl.Clients[i]),
 		nic:   nic,
 		mem:   verbs.NewMemory(),
 		rng:   sim.NewRNG(sim.DeriveSeed(s.seed, "kv/backoff", i)),
@@ -671,13 +717,18 @@ func (c *client) startNext(now sim.Time) {
 	c.send(now)
 }
 
-// valueFor generates the deterministic Put payload for request r.
+// valueFor generates the deterministic Put payload for request r into
+// the client's scratch buffer — safe to reuse across sends because
+// MarshalRequest copies it into the wire frame and nothing else retains
+// it.
 func (c *client) valueFor(r int) []byte {
-	v := make([]byte, c.s.o.ValueBytes)
-	for i := range v {
-		v[i] = byte(r*31 + i)
+	if c.val == nil {
+		c.val = make([]byte, c.s.o.ValueBytes)
 	}
-	return v
+	for i := range c.val {
+		c.val[i] = byte(r*31 + i)
+	}
+	return c.val
 }
 
 // send transmits the current request (attempt c.attempt) and arms the
@@ -751,7 +802,7 @@ func (c *client) onCQE(e verbs.CQE) {
 		c.ep.qp.PostRecv(e.WQEID, buf)
 	default: // ModeWriteImm
 		slot := int(e.Imm) % respSlots
-		ring, _ := c.mem.Read(rkResp, uint64(slot*c.s.slotBytes()), c.s.slotBytes())
+		ring, _ := c.mem.View(rkResp, uint64(slot*c.s.slotBytes()), c.s.slotBytes())
 		resp, _, err = UnmarshalResponse(ring)
 		c.ep.qp.PostRecv(0, nil)
 	}
@@ -772,6 +823,7 @@ func (c *client) resolve(status RespStatus, now sim.Time) {
 	is := &c.s.issues[r]
 	lat := now.Sub(is.at) // measured from the *scheduled* issue time
 	c.st.Resolved++
+	c.noteResolved()
 	b := c.s.bucketOf(is.at)
 	c.phase[b].Issued++
 	switch status {
@@ -797,6 +849,18 @@ func (c *client) resolve(status RespStatus, now sim.Time) {
 	c.startNext(now)
 }
 
+// noteResolved folds a terminal outcome into the owning shard's counter
+// and, when a Widen grant armed a target, self-stops the engine once
+// this shard's resolutions make the global Done condition true. The
+// engine resumes in later windows if the armed snapshot was stale.
+func (c *client) noteResolved() {
+	sh := &c.s.shard[c.shard]
+	sh.resolved++
+	if sh.target > 0 && sh.resolved >= sh.target {
+		c.nic.Engine().Stop()
+	}
+}
+
 // giveUp abandons the outstanding request after the retry budget.
 func (c *client) giveUp(now sim.Time) {
 	r := c.cur
@@ -804,6 +868,7 @@ func (c *client) giveUp(now sim.Time) {
 	c.inBackoff = false
 	is := &c.s.issues[r]
 	c.st.Resolved++
+	c.noteResolved()
 	c.st.GiveUps++
 	c.phase[c.s.bucketOf(is.at)].Issued++
 	if now > c.lastResolve {

@@ -82,7 +82,13 @@ type vsource struct {
 	nic *fabric.NIC
 	fl  transport.Flow
 	qp  *verbs.QP
-	q   []*verbs.VPacket
+
+	// q/head form a reusable FIFO: consumed entries advance head instead
+	// of re-slicing the array away (q = q[1:] discards capacity, so a
+	// long-lived connection reallocates the queue once per wrap). The
+	// array is reclaimed whole whenever the queue drains.
+	q    []*verbs.VPacket
+	head int
 }
 
 // push enqueues an outbound verbs packet and kicks the NIC.
@@ -96,16 +102,19 @@ func (s *vsource) Flow() *transport.Flow { return &s.fl }
 
 // HasData implements transport.Source.
 func (s *vsource) HasData(now sim.Time) (bool, sim.Time) {
-	return len(s.q) > 0, 0
+	return s.head < len(s.q), 0
 }
 
 // NextPacket implements transport.Source: wrap the next verbs packet in
 // a fabric data packet. The wire size counts the IRN headers (RETH in
 // every packet, the IRN extension) on top of the standard RoCEv2 frame.
 func (s *vsource) NextPacket(now sim.Time) *packet.Packet {
-	vp := s.q[0]
-	s.q[0] = nil
-	s.q = s.q[1:]
+	vp := s.q[s.head]
+	s.q[s.head] = nil
+	s.head++
+	if s.head == len(s.q) {
+		s.q, s.head = s.q[:0], 0
+	}
 	pk := s.nic.Pool().NewData(s.fl.ID, s.fl.Src, s.fl.Dst, vp.BTH.PSN,
 		len(vp.Payload), vp.BTH.Opcode.IsLast())
 	pk.Wire = len(vp.Payload) + packet.DataHeader + packet.RETHSize + packet.IRNExtSize

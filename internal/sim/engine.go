@@ -158,6 +158,12 @@ type Engine struct {
 	nextAt    Time
 	nextKnown bool
 
+	// windowEnd is the end of the window RunWindow is currently
+	// executing. LimitWindow shrinks it mid-run: the producer-side safety
+	// valve for adaptively widened windows (see RunWindows), called by
+	// this engine's own execution, so it needs no synchronization.
+	windowEnd Time
+
 	// Stats.
 	executed uint64
 }
@@ -177,6 +183,7 @@ func (e *Engine) Reset() {
 	e.clk.Reset()
 	e.stopped = false
 	e.nextAt, e.nextKnown = 0, false
+	e.windowEnd = 0
 	e.queue.reset()
 }
 
@@ -340,8 +347,9 @@ func (e *Engine) RunUntil(deadline Time) {
 func (e *Engine) RunWindow(end Time) {
 	e.stopped = false
 	e.nextKnown = false
+	e.windowEnd = end
 	for e.queue.size > 0 && !e.stopped {
-		if at := e.queue.peekAt(); at >= end {
+		if at := e.queue.peekAt(); at >= e.windowEnd {
 			// Prime the next-event cache with the peek just performed:
 			// the refill cost was paid here, on the shard's own goroutine
 			// inside the parallel section, so the coordinator's barrier
@@ -390,6 +398,21 @@ func (e *Engine) step() {
 // Stop halts Run/RunUntil after the current event completes. Pending events
 // remain queued.
 func (e *Engine) Stop() { e.stopped = true }
+
+// LimitWindow shrinks the end of the window this engine is currently
+// executing (RunWindow exits before any event at or past the new end).
+// This is the producer-side guarantee behind adaptively widened safe
+// windows: when an event on a widened shard pushes a cross-engine
+// occurrence due at time d, anything the receiving shard does with it can
+// influence this engine no earlier than d plus the minimum cross-engine
+// latency — so the producer clamps its own window to that bound at the
+// push site (see fabric's boundary channels). Must only be called from
+// events executing on this engine; growing the window is not possible.
+func (e *Engine) LimitWindow(end Time) {
+	if end < e.windowEnd {
+		e.windowEnd = end
+	}
+}
 
 // Timer is a cancellable, re-armable one-shot timer.
 //

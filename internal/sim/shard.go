@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"runtime/debug"
+	"sync"
+	"time"
 )
 
 // Conservative-parallel execution: one simulation partitioned across S
@@ -27,6 +29,25 @@ import (
 // serialization delay of the smallest frame crossing a cut link by pushing
 // boundary occurrences at serialization *start* (see fabric.NewPartitioned
 // for the full argument).
+//
+// On top of the fixed-width window the coordinator layers an adaptive
+// extension: the shard holding the global minimum event time may run past
+// T + lookahead, up to secondMin + lookahead, where secondMin is the
+// earliest pending event on any *other* shard — every other shard
+// executes at g >= secondMin, so nothing it produces lands before
+// secondMin + lookahead — and when no other shard holds any pending
+// event at all, the minimum shard may run clear to the deadline. The one
+// input that bound does not cover is the widened shard's own output
+// bouncing back: a cross-shard occurrence it pushes with arrival time d
+// can provoke a response due as early as d plus the minimum cross-shard
+// latency, which a window stretching far past d would overrun. Producers
+// close that hole themselves: every cross-engine push clamps the pushing
+// engine's current window to d + slack via Engine.LimitWindow (see
+// fabric's boundary channels), so a widened window survives exactly as
+// long as the shard stays cross-shard silent. In sparse phases
+// (endurance soaks, fault blackouts, flow-arrival tails) that collapses
+// long runs of near-empty fixed windows into one barrier, while under
+// dense boundary traffic windows self-clamp back to safety.
 //
 // Determinism does not depend on the window boundaries at all: events
 // carry the canonical (at, rank) key, ranks are drawn by the producing
@@ -81,6 +102,69 @@ type WindowConfig struct {
 	// but the stopping window — and thus the trailing executed-event set
 	// — depends on the configured lookahead.
 	Horizon func() Time
+	// Widen gates the adaptive extension while a Done condition is armed
+	// but not yet seen. Done is only polled at barriers, so letting the
+	// minimum shard run far past the global safe window could carry it
+	// beyond the instant Done first becomes true — executing events the
+	// canonical (fixed-window) run would clamp away. Widen(shard) grants
+	// the extension anyway; a hook that returns true must arrange for
+	// that shard to stop itself (Engine.Stop) no later than the moment
+	// the done condition turns true on it, which pins the executed-event
+	// set back to the canonical horizon:
+	//
+	//   - If the last contribution to the done condition lands on the
+	//     widened shard, the armed self-stop halts it there, the next
+	//     barrier sees Done, and the Horizon clamp takes over.
+	//   - If it lands on any other shard, that shard executed at or
+	//     after secondMin, so the horizon is at least secondMin plus the
+	//     window slack — past everything the widened window could run —
+	//     and a stale self-stop either never fires or fires early, which
+	//     only costs an extra barrier (pending events keep their turn).
+	//
+	// The hook runs on the coordinating goroutine at a barrier, so it
+	// may read shard-owned completion counters freely. Nil (or Done nil
+	// having never armed) means: extend freely once Done has been seen —
+	// the deadline is already clamped — and never before.
+	Widen func(shard int) bool
+	// FixedWindows disables the adaptive extension entirely, restoring
+	// fixed lookahead-width windows. Results are bit-identical either
+	// way (the executed-event set is window-independent); the knob
+	// exists for barrier-count comparisons and as an escape hatch.
+	FixedWindows bool
+	// Stats, when non-nil, is reset and filled with runtime counters for
+	// this run: barrier rounds, widened windows, and per-shard work and
+	// wait tallies. The wall-clock wait figures are nondeterministic;
+	// everything else is a pure function of the run.
+	Stats *WindowStats
+}
+
+// WindowStats are one windowed run's runtime counters, filled when
+// WindowConfig.Stats is set.
+type WindowStats struct {
+	// Barriers counts dispatch rounds: barriers at which at least one
+	// shard received a window. Fewer barriers for the same event count
+	// means less synchronization overhead.
+	Barriers uint64
+	// WideWindows counts rounds where the adaptive extension actually
+	// widened the minimum shard's window past the global safe width.
+	WideWindows uint64
+	// Shards holds per-shard tallies, indexed by shard.
+	Shards []ShardWindowStats
+}
+
+// ShardWindowStats are one shard's runtime counters.
+type ShardWindowStats struct {
+	// Windows counts safe windows this shard actually executed (rounds
+	// it was dispatched with pending work).
+	Windows uint64
+	// Events counts events executed inside those windows.
+	Events uint64
+	// BarrierWaitNs is wall-clock nanoseconds this shard spent parked at
+	// the barrier waiting for the next dispatch — for shard 0 (which
+	// runs on the coordinating goroutine), the time spent waiting for
+	// the other shards to finish their windows. A skewed column is the
+	// signature of partition imbalance. Wall-clock, so nondeterministic.
+	BarrierWaitNs int64
 }
 
 // ShardPanic is the panic value RunWindows re-raises on the caller's
@@ -133,12 +217,157 @@ func windowEnd(t Time, lookahead Duration, deadline Time) Time {
 		w = t + 1 // zero lookahead: single-timestep window
 	}
 	if w > deadline {
-		if deadline == MaxTime {
-			return MaxTime // deadline+1 would wrap to the distant past
-		}
-		return deadline + 1
+		return deadlineEnd(deadline)
 	}
 	return w
+}
+
+// deadlineEnd is the window end that carries a shard through the deadline
+// itself: deadline+1, except at MaxTime where the increment would wrap.
+func deadlineEnd(deadline Time) Time {
+	if deadline == MaxTime {
+		return MaxTime
+	}
+	return deadline + 1
+}
+
+// windowBarrier is the shard rendezvous: an epoch/generation barrier over
+// one mutex and two condition variables, replacing a per-window channel
+// round trip per shard. The coordinator publishes each round as an epoch
+// bump plus a per-shard window-end array (zero = sit this round out) and
+// broadcasts; workers park on the work cond between rounds, run their
+// window lock-free, then decrement the outstanding count, the last one
+// waking the coordinator. One futex wake per side per round, no spinning,
+// correct at GOMAXPROCS=1 and under the race detector.
+//
+// Every shared field is written under mu. Workers touch only their own
+// stats slot, but even those writes stay under mu so the coordinator's
+// final collect orders them for the caller.
+type windowBarrier struct {
+	mu   sync.Mutex
+	work sync.Cond // workers park here between rounds
+	idle sync.Cond // coordinator parks here until outstanding == 0
+
+	epoch       uint64
+	ends        []Time // per-shard window end this epoch; 0 = idle round
+	outstanding int
+	closed      bool
+	fail        *shardAck
+
+	stats []ShardWindowStats // nil when stats are off
+}
+
+func newWindowBarrier(n int, stats []ShardWindowStats) *windowBarrier {
+	b := &windowBarrier{ends: make([]Time, n), stats: stats}
+	b.work.L = &b.mu
+	b.idle.L = &b.mu
+	return b
+}
+
+// worker is shard i's goroutine body (shards 1..n-1; shard 0 runs on the
+// coordinating goroutine). The closed check precedes any stats write, so
+// once close() has run — which only happens after RunWindows' caller has
+// the coordinator back — a late-waking worker exits without touching
+// memory the caller may now own.
+func (b *windowBarrier) worker(e *Engine, shard int) {
+	seen := uint64(0)
+	b.mu.Lock()
+	for {
+		var start time.Time
+		if b.stats != nil {
+			start = time.Now()
+		}
+		for b.epoch == seen && !b.closed {
+			b.work.Wait()
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		seen = b.epoch
+		w := b.ends[shard]
+		if b.stats != nil {
+			b.stats[shard].BarrierWaitNs += time.Since(start).Nanoseconds()
+		}
+		b.mu.Unlock()
+
+		var ack shardAck
+		ran := w != 0
+		before := e.Executed()
+		if ran {
+			ack = runWindowRecover(e, shard, w)
+		}
+
+		b.mu.Lock()
+		if ran && b.stats != nil {
+			b.stats[shard].Windows++
+			b.stats[shard].Events += e.Executed() - before
+		}
+		if ack.panicVal != nil && b.fail == nil {
+			cp := ack
+			b.fail = &cp
+		}
+		b.outstanding--
+		if b.outstanding == 0 {
+			b.idle.Signal()
+		}
+	}
+}
+
+// round publishes one window round, runs shard 0's share inline, waits for
+// every worker to report back, and re-raises the first shard panic (shard
+// 0's own taking precedence, since the others still completed their
+// windows).
+func (b *windowBarrier) round(e0 *Engine, ends []Time) {
+	b.mu.Lock()
+	copy(b.ends, ends)
+	b.epoch++
+	b.outstanding = len(ends) - 1
+	b.mu.Unlock()
+	b.work.Broadcast()
+
+	var failed *shardAck
+	if w := ends[0]; w != 0 {
+		before := e0.Executed()
+		if ack := runWindowRecover(e0, 0, w); ack.panicVal != nil {
+			failed = &ack
+		}
+		if b.stats != nil {
+			b.stats[0].Windows++
+			b.stats[0].Events += e0.Executed() - before
+		}
+	}
+
+	b.mu.Lock()
+	var start time.Time
+	if b.stats != nil {
+		start = time.Now()
+	}
+	for b.outstanding > 0 {
+		b.idle.Wait()
+	}
+	if b.stats != nil {
+		b.stats[0].BarrierWaitNs += time.Since(start).Nanoseconds()
+	}
+	if failed == nil {
+		failed = b.fail
+	}
+	b.fail = nil
+	b.mu.Unlock()
+
+	if failed != nil {
+		panic(ShardPanic{Shard: failed.shard, Value: failed.panicVal, Stack: string(failed.stack)})
+	}
+}
+
+// close releases the workers for good. Only called with every round fully
+// collected (outstanding == 0), so all workers are parked and exit on the
+// wake without writing anything.
+func (b *windowBarrier) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.work.Broadcast()
 }
 
 // RunWindows executes a group of shard engines to completion under the
@@ -148,40 +377,35 @@ func windowEnd(t Time, lookahead Duration, deadline Time) Time {
 // deadline, or the maximum shard clock on the legacy nil-Horizon Done
 // path).
 //
-// Coordination is strictly channel-based — no spinning — so the runner is
-// correct (if not parallel) at GOMAXPROCS=1 and under the race detector.
-// A window is dispatched only to shards whose next pending event falls
-// inside it; idle shards skip the handoff round trip entirely.
+// Coordination is an epoch barrier (see windowBarrier) — one broadcast
+// out, one wake back per round, no spinning — so the runner is correct
+// (if not parallel) at GOMAXPROCS=1 and under the race detector. A window
+// is dispatched only to shards whose next pending event falls inside it;
+// idle shards wake, see the zero sentinel, and report straight back.
 func RunWindows(cfg WindowConfig) bool {
 	n := len(cfg.Engines)
 	if n == 0 {
 		return false
 	}
+	stats := cfg.Stats
+	if stats != nil {
+		*stats = WindowStats{Shards: make([]ShardWindowStats, n)}
+	}
 
-	// Shard goroutines for the parallel case. Shard 0 always runs on the
-	// coordinating goroutine: a 1-shard group needs no handoff at all,
-	// and wider groups save one round trip per window.
-	var (
-		starts []chan Time
-		acks   chan shardAck
-	)
+	// Shard 0 always runs on the coordinating goroutine: a 1-shard group
+	// needs no barrier at all, and wider groups save one wake per round.
+	var b *windowBarrier
+	ends := make([]Time, n)
 	if n > 1 {
-		starts = make([]chan Time, n)
-		acks = make(chan shardAck, n-1)
-		for i := 1; i < n; i++ {
-			ch := make(chan Time)
-			starts[i] = ch
-			go func(e *Engine, shard int) {
-				for w := range ch {
-					acks <- runWindowRecover(e, shard, w)
-				}
-			}(cfg.Engines[i], i)
+		var sh []ShardWindowStats
+		if stats != nil {
+			sh = stats.Shards
 		}
-		defer func() {
-			for i := 1; i < n; i++ {
-				close(starts[i])
-			}
-		}()
+		b = newWindowBarrier(n, sh)
+		for i := 1; i < n; i++ {
+			go b.worker(cfg.Engines[i], i)
+		}
+		defer b.close()
 	}
 
 	doneSeen := false
@@ -211,13 +435,28 @@ func RunWindows(cfg WindowConfig) bool {
 				cfg.Deadline = h
 			}
 		}
+		// One scan finds the global minimum event time t, the shard m
+		// holding it, and the minimum over the *other* shards (the
+		// adaptive extension's bound). An idle shard's cached next-event
+		// time makes this O(1) per shard.
 		var (
-			t    Time
-			have bool
+			t, second        Time
+			have, haveSecond bool
+			m                int
 		)
-		for _, e := range cfg.Engines {
-			if at, ok := e.NextEventTime(); ok && (!have || at < t) {
-				t, have = at, true
+		for i, e := range cfg.Engines {
+			at, ok := e.NextEventTime()
+			if !ok {
+				continue
+			}
+			switch {
+			case !have || at < t:
+				if have && (!haveSecond || t < second) {
+					second, haveSecond = t, true // old minimum demotes
+				}
+				t, have, m = at, true, i
+			case !haveSecond || at < second:
+				second, haveSecond = at, true
 			}
 		}
 		if !have || t > cfg.Deadline {
@@ -238,35 +477,54 @@ func RunWindows(cfg WindowConfig) bool {
 			continue
 		}
 		w := windowEnd(t, cfg.Lookahead, cfg.Deadline)
-		// Dispatch only to shards with work inside the window; an idle
-		// shard's cached next-event time makes this scan O(1) per shard.
-		dispatched := 0
-		run0 := false
+		// Adaptive extension for the minimum shard. Safe unconditionally
+		// when no Done condition is pending (the deadline alone bounds
+		// the run, and nothing another shard executes this round lands
+		// before second + lookahead); while Done is armed, only a Widen
+		// hook that pins the stop point may grant it — see Widen.
+		//
+		// Single-engine groups never extend: the lookahead argument only
+		// covers events crossing *between* engines, and a lone engine's
+		// Drain hook may legitimately feed events back into itself one
+		// lookahead out (windowed serial execution), which a deadline-wide
+		// window would overrun. There is no barrier concurrency to save
+		// there anyway.
+		wm := w
+		if n > 1 && !cfg.FixedWindows && (!haveSecond || second > t) &&
+			(cfg.Done == nil || doneSeen || (cfg.Widen != nil && cfg.Widen(m))) {
+			wm = deadlineEnd(cfg.Deadline)
+			if haveSecond && second < cfg.Deadline {
+				wm = windowEnd(second, cfg.Lookahead, cfg.Deadline)
+			}
+		}
+		if stats != nil {
+			stats.Barriers++
+			if wm > w {
+				stats.WideWindows++
+			}
+		}
+		// Dispatch only to shards with work inside the window; the
+		// minimum shard m (which always qualifies) gets the extended end.
 		for i, e := range cfg.Engines {
+			ends[i] = 0
 			if at, ok := e.NextEventTime(); !ok || at >= w {
 				continue
 			}
-			if i == 0 {
-				run0 = true
-			} else {
-				starts[i] <- w
-				dispatched++
+			ends[i] = w
+		}
+		ends[m] = wm
+		if n == 1 {
+			before := cfg.Engines[0].Executed()
+			ack := runWindowRecover(cfg.Engines[0], 0, ends[0])
+			if stats != nil {
+				stats.Shards[0].Windows++
+				stats.Shards[0].Events += cfg.Engines[0].Executed() - before
 			}
-		}
-		var failed *shardAck
-		if run0 {
-			if ack := runWindowRecover(cfg.Engines[0], 0, w); ack.panicVal != nil {
-				failed = &ack
+			if ack.panicVal != nil {
+				panic(ShardPanic{Shard: 0, Value: ack.panicVal, Stack: string(ack.stack)})
 			}
+			continue
 		}
-		for j := 0; j < dispatched; j++ {
-			ack := <-acks
-			if ack.panicVal != nil && failed == nil {
-				failed = &ack
-			}
-		}
-		if failed != nil {
-			panic(ShardPanic{Shard: failed.shard, Value: failed.panicVal, Stack: string(failed.stack)})
-		}
+		b.round(cfg.Engines[0], ends)
 	}
 }

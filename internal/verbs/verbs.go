@@ -178,6 +178,19 @@ func (m *Memory) Read(rkey uint32, va uint64, length int) ([]byte, bool) {
 	return out, true
 }
 
+// View returns the registered bytes at rkey/va without copying. The
+// slice aliases the region: it is only valid until the next Write to
+// the range, so callers must parse (or copy) before returning to the
+// event loop — the contract ring consumers use to decode a frame
+// in place without a per-delivery allocation.
+func (m *Memory) View(rkey uint32, va uint64, length int) ([]byte, bool) {
+	buf, ok := m.regions[rkey]
+	if !ok || va+uint64(length) > uint64(len(buf)) {
+		return nil, false
+	}
+	return buf[va : va+uint64(length)], true
+}
+
 // ReadWord fetches the 8-byte word atomics operate on.
 func (m *Memory) ReadWord(rkey uint32, va uint64) (uint64, bool) {
 	b, ok := m.Read(rkey, va, 8)
